@@ -1,0 +1,73 @@
+// Extension bench (paper Section 6 future work): residual-priority
+// PageRank under every scheduler family. The interesting metric is
+// *total vertex updates*: in the additive push formulation, residuals
+// keep accumulating after a task is enqueued, so the task's priority
+// (quantized residual at push time) goes stale, and schedulers that
+// delay processing (RELD's local FIFO) harvest larger accumulated
+// residuals per task. This is a genuinely different regime from the
+// graph-search workloads: eager priority order buys faster residual
+// decay per wall-second but not fewer updates.
+#include <cmath>
+#include <iostream>
+
+#include "algorithms/pagerank.h"
+#include "core/stealing_multiqueue.h"
+#include "graph/generators.h"
+#include "harness/bench_main.h"
+#include "queues/classic_multiqueue.h"
+#include "queues/obim.h"
+#include "queues/reld.h"
+#include "queues/spraylist.h"
+
+int main(int argc, char** argv) {
+  using namespace smq;
+  using namespace smq::bench;
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  print_preamble("Extension: residual-priority PageRank", opts);
+
+  const unsigned scale = opts.full ? 14 : 11;
+  const Graph graph = make_rmat(scale, {.seed = 57});
+  PageRankOptions pr;
+  // Push-based PR does O(initial mass / tolerance) harvests in the worst
+  // case; 1e-4 keeps the bench seconds-fast while the error column still
+  // separates the schedulers.
+  pr.tolerance = 1e-4;
+  const SequentialPageRankResult ref =
+      sequential_pagerank(graph, {.tolerance = 1e-8}, 500);
+  std::cout << "RMAT scale " << scale << ": " << graph.num_vertices()
+            << " vertices, " << graph.num_edges() << " edges; power "
+            << "iteration needed " << ref.iterations << " rounds = "
+            << ref.iterations * graph.num_vertices() << " vertex updates\n\n";
+
+  const unsigned threads = opts.max_threads;
+  TablePrinter table({"scheduler", "tasks", "wasted", "time ms",
+                      "max err vs power iter"});
+  auto report = [&](const std::string& name, auto&& sched) {
+    const PageRankResult r = parallel_pagerank(graph, sched, threads, pr);
+    double max_err = 0;
+    for (std::size_t v = 0; v < ref.ranks.size(); ++v) {
+      max_err = std::max(max_err, std::abs(r.ranks[v] - ref.ranks[v]));
+    }
+    table.add_row({name, std::to_string(r.run.stats.pops),
+                   std::to_string(r.run.stats.wasted),
+                   TablePrinter::fmt(r.run.seconds * 1e3),
+                   TablePrinter::fmt(max_err, 4)});
+  };
+
+  report("SMQ (heap, default)",
+         StealingMultiQueue<>(threads, {.steal_size = 4, .p_steal = 0.125}));
+  report("classic MQ (C=4)", ClassicMultiQueue(threads, {}));
+  report("OBIM (delta 2^2)",
+         Obim(threads, {.chunk_size = 32, .delta_shift = 2}));
+  report("PMOD", Pmod(threads, {.chunk_size = 32, .delta_shift = 2}));
+  report("RELD", ReldQueue(threads, {}));
+  report("SprayList", SprayList(threads, {}));
+
+  table.print(std::cout);
+  std::cout << "\nAll schedulers converge to the same fixpoint (error column "
+               "~ n * tolerance).\nTask counts show the accumulation effect: "
+               "delaying schedulers harvest bigger residuals per task, eager "
+               "priority order processes more, smaller harvests — see "
+               "EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Tables 16-23 (Appendix E.1-E.4): NUMA weight K ablation for the four
+// optimized Multi-Queue combos. K = 1 disables the NUMA weighting;
+// larger K biases queue sampling toward the thread's own (virtual) node.
+// Reports speedup vs classic MQ (C = 4) plus the measured remote-access
+// fraction and the analytic "NUMA-friendliness" E from Section 4.
+#include <iostream>
+
+#include "harness/bench_main.h"
+#include "sched/topology.h"
+
+namespace {
+
+using namespace smq;
+using namespace smq::bench;
+
+struct Mode {
+  std::string name;
+  InsertPolicy insert;
+  DeletePolicy del;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  print_preamble("Tables 16-23: NUMA weight K ablation, optimized MQ", opts);
+
+  const std::vector<double> ks =
+      opts.full ? std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256}
+                : std::vector<double>{1, 8, 64};
+  const std::vector<Mode> modes{
+      {"TL/TL", InsertPolicy::kTemporalLocality, DeletePolicy::kTemporalLocality},
+      {"TL/B", InsertPolicy::kTemporalLocality, DeletePolicy::kBatching},
+      {"B/TL", InsertPolicy::kBatching, DeletePolicy::kTemporalLocality},
+      {"B/B", InsertPolicy::kBatching, DeletePolicy::kBatching},
+  };
+  std::vector<Workload> workloads =
+      opts.full ? standard_workloads(opts.subset) : quick_workloads();
+  const unsigned numa_nodes = opts.max_threads >= 4 ? 2 : 1;
+
+  // Analytic expectation from Section 4.
+  Topology topo(opts.max_threads, numa_nodes);
+  std::cout << "analytic internal fraction E for "
+            << numa_nodes << " virtual nodes:";
+  for (double k : ks) {
+    std::cout << "  K=" << k << ": "
+              << TablePrinter::fmt(topo.expected_internal_fraction(k));
+  }
+  std::cout << "\n\n";
+
+  for (Workload& w : workloads) {
+    SchedulerSpec baseline;
+    baseline.kind = SchedKind::kClassicMq;
+    baseline.mq_c = 4;
+    const Measurement base =
+        run_measurement(w, baseline, opts.max_threads, opts.repetitions);
+    std::cout << w.name << " (baseline MQ C=4: "
+              << TablePrinter::fmt(base.seconds * 1e3) << " ms)\n";
+
+    std::vector<std::string> headers{"combo"};
+    for (double k : ks) {
+      headers.push_back("K=" + std::to_string(static_cast<int>(k)));
+    }
+    TablePrinter table(std::move(headers));
+    for (const Mode& mode : modes) {
+      std::vector<std::string> row{mode.name};
+      double best = 0;
+      std::size_t best_col = 0;
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        SchedulerSpec spec;
+        spec.kind = SchedKind::kOptimizedMq;
+        spec.insert_policy = mode.insert;
+        spec.delete_policy = mode.del;
+        spec.p_insert_change = 1.0 / 16;
+        spec.p_delete_change = 1.0 / 16;
+        spec.insert_batch = 16;
+        spec.delete_batch = 16;
+        spec.numa_nodes = numa_nodes;
+        spec.numa_k = ks[i];
+        const Measurement m =
+            run_measurement(w, spec, opts.max_threads, opts.repetitions);
+        const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0;
+        row.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
+        if (speedup > best) {
+          best = speedup;
+          best_col = i + 1;
+        }
+      }
+      row[best_col] += "*";
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "speedup vs MQ(C=4); K=1 is the non-NUMA algorithm; (*) best "
+               "K per row.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 1: input graph inventory — |V|, |E|, description — for the
+// synthetic stand-ins of the paper's USA / WEST / TWITTER / WEB inputs,
+// plus the per-workload sequential reference data every other bench
+// normalizes against.
+#include <iostream>
+#include <set>
+
+#include "harness/bench_main.h"
+
+int main(int argc, char** argv) {
+  using namespace smq;
+  using namespace smq::bench;
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  print_preamble("Table 1: input graphs", opts);
+
+  std::vector<Workload> workloads = standard_workloads(opts.subset);
+
+  TablePrinter graphs({"graph", "|V|", "|E|", "description"});
+  std::set<const Graph*> printed;
+  for (const Workload& w : workloads) {
+    if (!printed.insert(w.graph.get()).second) continue;
+    const std::string label = w.name.substr(w.name.find(' ') + 1);
+    graphs.add_row({label, std::to_string(w.graph->num_vertices()),
+                    std::to_string(w.graph->num_edges()),
+                    w.graph->description()});
+  }
+  graphs.print(std::cout);
+
+  std::cout << "\nSequential reference (exact priority queue):\n";
+  TablePrinter refs({"benchmark", "ref tasks", "ref answer", "seq time ms"});
+  for (Workload& w : workloads) {
+    prepare_reference(w);
+    refs.add_row({w.name, std::to_string(w.reference_tasks),
+                  std::to_string(w.reference_answer),
+                  TablePrinter::fmt(w.reference_seconds * 1e3)});
+  }
+  refs.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Tables 24-27 (Appendix E.5-E.6): NUMA weight K ablation for the
+// Stealing Multi-Queue with d-ary heap and skip-list local queues.
+// The paper's finding: SMQ is largely insensitive to K because most
+// operations are local anyway — only steal victims are sampled.
+#include <iostream>
+
+#include "harness/bench_main.h"
+
+int main(int argc, char** argv) {
+  using namespace smq;
+  using namespace smq::bench;
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  print_preamble("Tables 24-27: NUMA weight K ablation, SMQ", opts);
+
+  const std::vector<double> ks =
+      opts.full ? std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256}
+                : std::vector<double>{1, 8, 64};
+  std::vector<Workload> workloads =
+      opts.full ? standard_workloads(opts.subset) : quick_workloads();
+  const unsigned numa_nodes = opts.max_threads >= 4 ? 2 : 1;
+
+  for (const SchedKind kind :
+       {SchedKind::kSmqHeap, SchedKind::kSmqSkipList}) {
+    std::cout << "--- " << sched_name(kind) << " ---\n";
+    for (Workload& w : workloads) {
+      SchedulerSpec baseline;
+      baseline.kind = SchedKind::kClassicMq;
+      baseline.mq_c = 4;
+      const Measurement base =
+          run_measurement(w, baseline, opts.max_threads, opts.repetitions);
+
+      std::vector<std::string> headers{"benchmark"};
+      for (double k : ks) {
+        headers.push_back("K=" + std::to_string(static_cast<int>(k)));
+      }
+      TablePrinter table(std::move(headers));
+      std::vector<std::string> row{w.name};
+      double best = 0;
+      std::size_t best_col = 0;
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        SchedulerSpec spec;
+        spec.kind = kind;
+        spec.numa_nodes = numa_nodes;
+        spec.numa_k = ks[i];
+        const Measurement m =
+            run_measurement(w, spec, opts.max_threads, opts.repetitions);
+        const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0;
+        row.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
+        if (speedup > best) {
+          best = speedup;
+          best_col = i + 1;
+        }
+      }
+      row[best_col] += "*";
+      table.add_row(std::move(row));
+      table.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "speedup vs MQ(C=4) at " << opts.max_threads
+            << " threads; (*) best K per row.\n";
+  return 0;
+}

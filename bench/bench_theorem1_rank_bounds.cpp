@@ -1,0 +1,108 @@
+// Theorem 1 validation: empirical rank of deletions in the discrete
+// simulator of Section 3's analytical model.
+//
+// Reproduced claims:
+//  * classic Multi-Queue over m queues: expected rank O(m) — rank grows
+//    linearly in m;
+//  * SMQ: expected average rank O(nB(1+gamma)/p_steal *
+//    log((1+gamma)/p_steal)) — rank grows as p_steal shrinks, linearly
+//    in batch size B, and degrades with scheduler skew gamma.
+#include <iostream>
+
+#include "harness/bench_main.h"
+#include "rank/rank_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace smq;
+  using namespace smq::bench;
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  print_preamble("Theorem 1: empirical rank bounds", opts);
+
+  const std::size_t elements = opts.full ? (1u << 18) : (1u << 15);
+
+  {
+    std::cout << "classic MQ: mean deletion rank vs m (expect ~linear in m)\n";
+    TablePrinter table({"m (queues)", "mean rank", "mean rank / m",
+                        "max rank"});
+    for (unsigned m : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      RankSimConfig cfg;
+      cfg.process = RankProcess::kClassicMq;
+      cfg.num_queues = m;
+      cfg.num_elements = elements;
+      cfg.seed = 100 + m;
+      const RankSimResult r = simulate_rank(cfg);
+      table.add_row({std::to_string(m), TablePrinter::fmt(r.mean_rank),
+                     TablePrinter::fmt(r.mean_rank / m),
+                     std::to_string(r.max_rank)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    std::cout << "SMQ (n=16, B=1, gamma=0): mean rank vs p_steal\n";
+    TablePrinter table({"p_steal", "mean rank", "rank * p_steal / n",
+                        "max rank"});
+    for (int k = 0; k <= 6; ++k) {
+      const double p = 1.0 / static_cast<double>(1 << k);
+      RankSimConfig cfg;
+      cfg.process = RankProcess::kSmq;
+      cfg.num_queues = 16;
+      cfg.p_steal = p;
+      cfg.num_elements = elements;
+      cfg.seed = 200 + k;
+      const RankSimResult r = simulate_rank(cfg);
+      table.add_row({"1/" + std::to_string(1 << k),
+                     TablePrinter::fmt(r.mean_rank),
+                     TablePrinter::fmt(r.mean_rank * p / cfg.num_queues),
+                     std::to_string(r.max_rank)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    std::cout << "SMQ (n=16, p_steal=1/4, gamma=0): mean rank vs batch B "
+                 "(expect ~linear in B)\n";
+    TablePrinter table({"B", "mean rank", "mean rank / B", "max rank"});
+    for (unsigned b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      RankSimConfig cfg;
+      cfg.process = RankProcess::kSmq;
+      cfg.num_queues = 16;
+      cfg.p_steal = 0.25;
+      cfg.batch_size = b;
+      cfg.num_elements = elements;
+      cfg.seed = 300 + b;
+      const RankSimResult r = simulate_rank(cfg);
+      table.add_row({std::to_string(b), TablePrinter::fmt(r.mean_rank),
+                     TablePrinter::fmt(r.mean_rank / b),
+                     std::to_string(r.max_rank)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    std::cout << "SMQ (n=16, B=1, p_steal=1/8): mean rank vs scheduler skew "
+                 "gamma\n";
+    TablePrinter table({"gamma", "mean rank", "max rank"});
+    for (double gamma : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+      RankSimConfig cfg;
+      cfg.process = RankProcess::kSmq;
+      cfg.num_queues = 16;
+      cfg.p_steal = 0.125;
+      cfg.gamma = gamma;
+      cfg.num_elements = elements;
+      cfg.seed = 400;
+      const RankSimResult r = simulate_rank(cfg);
+      table.add_row({TablePrinter::fmt(gamma), TablePrinter::fmt(r.mean_rank),
+                     std::to_string(r.max_rank)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nShape check: 'mean rank / m', 'rank * p_steal / n' and "
+               "'mean rank / B' staying within a small constant factor\n"
+               "across rows validates the O(m), O(n/p_steal) and O(nB) "
+               "scaling of Theorem 1 (log factors show as mild drift).\n";
+  return 0;
+}

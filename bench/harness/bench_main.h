@@ -1,0 +1,46 @@
+// Common entry-point helpers for bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/workloads.h"
+#include "support/cli.h"
+
+namespace smq::bench {
+
+struct BenchOptions {
+  std::string subset;      // workload name filter
+  unsigned max_threads;    // top of the thread sweep
+  int repetitions;
+  bool full;               // full paper-sized grids vs quick default grid
+
+  std::vector<unsigned> thread_counts() const {
+    std::vector<unsigned> counts;
+    for (unsigned t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+    return counts;
+  }
+};
+
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  BenchOptions opts;
+  opts.subset = args.get("subset", "");
+  opts.max_threads = static_cast<unsigned>(
+      args.get_int("threads", static_cast<std::int64_t>(bench_max_threads())));
+  opts.repetitions = static_cast<int>(args.get_int("reps", 1));
+  opts.full = args.has_flag("full");
+  return opts;
+}
+
+inline void print_preamble(const std::string& title,
+                           const BenchOptions& opts) {
+  std::cout << "=== " << title << " ===\n"
+            << "scale=" << bench_scale() << " (env SMQ_BENCH_SCALE), threads<="
+            << opts.max_threads << " (env SMQ_BENCH_THREADS or --threads), "
+            << (opts.full ? "full" : "quick") << " grid (--full)\n\n";
+}
+
+}  // namespace smq::bench

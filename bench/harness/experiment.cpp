@@ -1,0 +1,173 @@
+#include "harness/experiment.h"
+
+#include <optional>
+
+#include "algorithms/astar.h"
+#include "algorithms/bfs.h"
+#include "algorithms/boruvka.h"
+#include "algorithms/sssp.h"
+#include "core/stealing_multiqueue.h"
+#include "queues/classic_multiqueue.h"
+#include "queues/obim.h"
+#include "queues/reld.h"
+#include "queues/sequential_scheduler.h"
+#include "queues/skiplist.h"
+#include "queues/spraylist.h"
+#include "sched/topology.h"
+
+namespace smq::bench {
+
+std::string sched_name(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kSequential: return "Sequential";
+    case SchedKind::kClassicMq: return "MQ";
+    case SchedKind::kOptimizedMq: return "MQ Optimized";
+    case SchedKind::kReld: return "RELD";
+    case SchedKind::kSprayList: return "SprayList";
+    case SchedKind::kObim: return "OBIM";
+    case SchedKind::kPmod: return "PMOD";
+    case SchedKind::kSmqHeap: return "SMQ (heap)";
+    case SchedKind::kSmqSkipList: return "SMQ (skiplist)";
+  }
+  return "?";
+}
+
+std::string SchedulerSpec::display_name() const {
+  return label.empty() ? sched_name(kind) : label;
+}
+
+namespace {
+
+/// Run the workload's algorithm through an already-built scheduler.
+template <typename Sched>
+std::pair<RunResult, std::uint64_t> run_algo(Workload& w, Sched& sched,
+                                             unsigned threads) {
+  switch (w.algo) {
+    case Algo::kSssp: {
+      ShortestPathResult r = parallel_sssp(*w.graph, w.source, sched, threads);
+      std::uint64_t checksum = 0;
+      for (const std::uint64_t d : r.distances) {
+        if (d != DistanceArray::kUnreached) checksum += d;
+      }
+      return {r.run, checksum};
+    }
+    case Algo::kBfs: {
+      ShortestPathResult r = parallel_bfs(*w.graph, w.source, sched, threads);
+      std::uint64_t checksum = 0;
+      for (const std::uint64_t d : r.distances) {
+        if (d != DistanceArray::kUnreached) checksum += d;
+      }
+      return {r.run, checksum};
+    }
+    case Algo::kAstar: {
+      AStarResult r = parallel_astar(*w.graph, w.source, w.target, sched,
+                                     threads, w.weight_scale);
+      return {r.run, r.distance};
+    }
+    case Algo::kMst: {
+      MstResult r = parallel_boruvka(*w.graph, sched, threads);
+      return {r.run, r.total_weight};
+    }
+  }
+  return {};
+}
+
+/// Build the scheduler named by `spec` and run once.
+std::pair<RunResult, std::uint64_t> run_once(Workload& w,
+                                             const SchedulerSpec& spec,
+                                             unsigned threads,
+                                             const Topology* topo) {
+  switch (spec.kind) {
+    case SchedKind::kSequential: {
+      SequentialScheduler sched;
+      return run_algo(w, sched, 1);
+    }
+    case SchedKind::kClassicMq: {
+      ClassicMultiQueue sched(
+          threads, {.queue_multiplier = spec.mq_c,
+                    .seed = spec.seed,
+                    .topology = topo,
+                    .numa_weight_k = spec.numa_k});
+      return run_algo(w, sched, threads);
+    }
+    case SchedKind::kOptimizedMq: {
+      OptimizedMultiQueue sched(
+          threads, {.queue_multiplier = spec.mq_c,
+                    .insert_policy = spec.insert_policy,
+                    .delete_policy = spec.delete_policy,
+                    .p_insert_change = spec.p_insert_change,
+                    .p_delete_change = spec.p_delete_change,
+                    .insert_batch = spec.insert_batch,
+                    .delete_batch = spec.delete_batch,
+                    .seed = spec.seed,
+                    .topology = topo,
+                    .numa_weight_k = spec.numa_k});
+      return run_algo(w, sched, threads);
+    }
+    case SchedKind::kReld: {
+      ReldQueue sched(threads, {.seed = spec.seed});
+      return run_algo(w, sched, threads);
+    }
+    case SchedKind::kSprayList: {
+      SprayList sched(threads, {.seed = spec.seed});
+      return run_algo(w, sched, threads);
+    }
+    case SchedKind::kObim: {
+      Obim sched(threads, {.chunk_size = spec.chunk_size,
+                           .delta_shift = spec.delta_shift,
+                           .topology = topo});
+      return run_algo(w, sched, threads);
+    }
+    case SchedKind::kPmod: {
+      Pmod sched(threads, {.chunk_size = spec.chunk_size,
+                           .delta_shift = spec.delta_shift,
+                           .topology = topo});
+      return run_algo(w, sched, threads);
+    }
+    case SchedKind::kSmqHeap: {
+      StealingMultiQueue<DAryHeap<Task, 4>> sched(
+          threads, {.steal_size = spec.steal_size,
+                    .p_steal = spec.p_steal,
+                    .seed = spec.seed,
+                    .topology = topo,
+                    .numa_weight_k = spec.numa_k});
+      return run_algo(w, sched, threads);
+    }
+    case SchedKind::kSmqSkipList: {
+      StealingMultiQueue<SequentialSkipList> sched(
+          threads, {.steal_size = spec.steal_size,
+                    .p_steal = spec.p_steal,
+                    .seed = spec.seed,
+                    .topology = topo,
+                    .numa_weight_k = spec.numa_k});
+      return run_algo(w, sched, threads);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Measurement run_measurement(Workload& w, const SchedulerSpec& spec,
+                            unsigned threads, int repetitions) {
+  prepare_reference(w);
+  std::optional<Topology> topo;
+  if (spec.numa_nodes > 1) topo.emplace(threads, spec.numa_nodes);
+
+  Measurement best;
+  for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
+    auto [run, answer] =
+        run_once(w, spec, threads, topo ? &*topo : nullptr);
+    Measurement m;
+    m.seconds = run.seconds;
+    m.tasks = run.stats.pops;
+    m.work_increase = run.work_increase(w.reference_tasks);
+    m.speedup_vs_seq =
+        run.seconds > 0 ? w.reference_seconds / run.seconds : 0;
+    m.valid = answer == w.reference_answer;
+    if (!best.valid || (m.valid && m.seconds < best.seconds)) best = m;
+  }
+  return best;
+}
+
+}  // namespace smq::bench

@@ -1,0 +1,75 @@
+// Experiment runner: (workload, scheduler spec, thread count) -> metrics.
+//
+// Every bench binary expresses its table/figure as a sweep over
+// SchedulerSpec values and calls run_measurement(); the scheduler
+// template dispatch and result validation live here, in one translation
+// unit, so the bench sources stay declarative.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/workloads.h"
+#include "queues/mq_variants.h"
+
+namespace smq::bench {
+
+enum class SchedKind {
+  kSequential,   // exact single-thread priority queue (speedup baseline)
+  kClassicMq,    // Listing 1
+  kOptimizedMq,  // batching / temporal-locality variants (Appendix C)
+  kReld,
+  kSprayList,
+  kObim,
+  kPmod,
+  kSmqHeap,      // the paper's contribution, d-ary heap local queues
+  kSmqSkipList,  // Appendix D variant
+};
+
+std::string sched_name(SchedKind kind);
+
+struct SchedulerSpec {
+  SchedKind kind = SchedKind::kSmqHeap;
+  std::string label;  // optional display override
+
+  // Classic / optimized MQ.
+  unsigned mq_c = 4;
+  InsertPolicy insert_policy = InsertPolicy::kTemporalLocality;
+  DeletePolicy delete_policy = DeletePolicy::kTemporalLocality;
+  double p_insert_change = 1.0;
+  double p_delete_change = 1.0;
+  std::size_t insert_batch = 1;
+  std::size_t delete_batch = 1;
+
+  // SMQ.
+  std::size_t steal_size = 4;
+  double p_steal = 1.0 / 8.0;
+
+  // OBIM / PMOD.
+  unsigned delta_shift = 10;
+  std::size_t chunk_size = 64;
+
+  // NUMA simulation: 0 nodes => UMA; K is the remote weight divisor.
+  unsigned numa_nodes = 0;
+  double numa_k = 1.0;
+
+  std::uint64_t seed = 1;
+
+  std::string display_name() const;
+};
+
+struct Measurement {
+  double seconds = 0;
+  std::uint64_t tasks = 0;      // executed (popped) tasks
+  double work_increase = 0;     // tasks / reference_tasks
+  double speedup_vs_seq = 0;    // reference_seconds / seconds
+  bool valid = false;           // answer matched the sequential oracle
+};
+
+/// Run `workload` under `spec` with `threads` threads, best of
+/// `repetitions` wall times (tasks from the same best run). Calls
+/// prepare_reference() on the workload if needed.
+Measurement run_measurement(Workload& workload, const SchedulerSpec& spec,
+                            unsigned threads, int repetitions = 1);
+
+}  // namespace smq::bench

@@ -1,0 +1,172 @@
+#include "harness/workloads.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "algorithms/astar.h"
+#include "algorithms/bfs.h"
+#include "algorithms/boruvka.h"
+#include "algorithms/sssp.h"
+#include "graph/generators.h"
+#include "support/cli.h"
+#include "support/timer.h"
+
+namespace smq::bench {
+
+std::string algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kSssp: return "SSSP";
+    case Algo::kBfs: return "BFS";
+    case Algo::kAstar: return "A*";
+    case Algo::kMst: return "MST";
+  }
+  return "?";
+}
+
+double bench_scale() { return env_double("SMQ_BENCH_SCALE", 1.0); }
+
+unsigned bench_max_threads() {
+  return static_cast<unsigned>(env_int("SMQ_BENCH_THREADS", 8));
+}
+
+std::vector<unsigned> bench_thread_counts() {
+  std::vector<unsigned> counts;
+  for (unsigned t = 1; t <= bench_max_threads(); t *= 2) counts.push_back(t);
+  return counts;
+}
+
+namespace {
+
+bool contains_icase(const std::string& haystack, const std::string& needle) {
+  if (needle.empty()) return true;
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+  };
+  return lower(haystack).find(lower(needle)) != std::string::npos;
+}
+
+struct GraphSet {
+  std::shared_ptr<const Graph> usa;
+  std::shared_ptr<const Graph> west;
+  std::shared_ptr<const Graph> twitter;
+  std::shared_ptr<const Graph> web;
+};
+
+GraphSet build_graphs(double scale) {
+  // Table 1 proportions: USA ~4x WEST vertices; social graphs have ~25x
+  // the edge density of the road graphs.
+  const auto usa_n = static_cast<VertexId>(90000 * scale);
+  const auto west_n = static_cast<VertexId>(22500 * scale);
+  const unsigned rmat_big = static_cast<unsigned>(
+      14 + std::max(0.0, std::round(std::log2(std::max(scale, 0.1)))));
+  GraphSet set;
+  set.usa = std::make_shared<Graph>(make_road_like(usa_n, {.seed = 101}));
+  set.west = std::make_shared<Graph>(make_road_like(west_n, {.seed = 202}));
+  set.twitter = std::make_shared<Graph>(
+      make_rmat(rmat_big, {.seed = 303, .edge_factor = 16}));
+  set.web = std::make_shared<Graph>(
+      make_rmat(rmat_big, {.seed = 404, .edge_factor = 24, .a = 0.60,
+                           .b = 0.18, .c = 0.18}));
+  return set;
+}
+
+Workload make(const std::string& name, Algo algo,
+              std::shared_ptr<const Graph> graph, VertexId source,
+              VertexId target = 0) {
+  Workload w;
+  w.name = name;
+  w.algo = algo;
+  w.graph = std::move(graph);
+  w.source = source;
+  w.target = target;
+  return w;
+}
+
+}  // namespace
+
+std::vector<Workload> standard_workloads(const std::string& subset) {
+  const GraphSet g = build_graphs(bench_scale());
+  const VertexId usa_far = g.usa->num_vertices() - 1;
+  const VertexId west_far = g.west->num_vertices() - 1;
+
+  std::vector<Workload> all;
+  all.push_back(make("SSSP USA", Algo::kSssp, g.usa, 0));
+  all.push_back(make("SSSP WEST", Algo::kSssp, g.west, 0));
+  all.push_back(make("SSSP TWITTER", Algo::kSssp, g.twitter, 0));
+  all.push_back(make("SSSP WEB", Algo::kSssp, g.web, 0));
+  all.push_back(make("BFS USA", Algo::kBfs, g.usa, 0));
+  all.push_back(make("BFS WEST", Algo::kBfs, g.west, 0));
+  all.push_back(make("BFS TWITTER", Algo::kBfs, g.twitter, 0));
+  all.push_back(make("BFS WEB", Algo::kBfs, g.web, 0));
+  all.push_back(make("A* USA", Algo::kAstar, g.usa, 0, usa_far));
+  all.push_back(make("A* WEST", Algo::kAstar, g.west, 0, west_far));
+  all.push_back(make("MST USA", Algo::kMst, g.usa, 0));
+  all.push_back(make("MST WEST", Algo::kMst, g.west, 0));
+
+  if (subset.empty()) return all;
+  std::vector<Workload> filtered;
+  for (auto& w : all) {
+    if (contains_icase(w.name, subset)) filtered.push_back(std::move(w));
+  }
+  return filtered;
+}
+
+std::vector<Workload> quick_workloads() {
+  auto road = std::make_shared<Graph>(make_road_like(10000, {.seed = 7}));
+  auto social = std::make_shared<Graph>(make_rmat(11, {.seed = 7}));
+  std::vector<Workload> all;
+  all.push_back(make("SSSP road", Algo::kSssp, road, 0));
+  all.push_back(make("SSSP social", Algo::kSssp, social, 0));
+  all.push_back(make("BFS road", Algo::kBfs, road, 0));
+  all.push_back(
+      make("A* road", Algo::kAstar, road, 0, road->num_vertices() - 1));
+  all.push_back(make("MST road", Algo::kMst, road, 0));
+  return all;
+}
+
+void prepare_reference(Workload& w) {
+  if (w.prepared) return;
+  Timer timer;
+  switch (w.algo) {
+    case Algo::kSssp: {
+      const SequentialSsspResult ref = sequential_sssp(*w.graph, w.source);
+      w.reference_tasks = ref.settled;
+      std::uint64_t checksum = 0;
+      for (const std::uint64_t d : ref.distances) {
+        if (d != DistanceArray::kUnreached) checksum += d;
+      }
+      w.reference_answer = checksum;
+      break;
+    }
+    case Algo::kBfs: {
+      const SequentialBfsResult ref = sequential_bfs(*w.graph, w.source);
+      w.reference_tasks = ref.visited;
+      std::uint64_t checksum = 0;
+      for (const std::uint64_t d : ref.levels) {
+        if (d != DistanceArray::kUnreached) checksum += d;
+      }
+      w.reference_answer = checksum;
+      break;
+    }
+    case Algo::kAstar: {
+      const SequentialAStarResult ref =
+          sequential_astar(*w.graph, w.source, w.target, w.weight_scale);
+      w.reference_tasks = ref.expanded;
+      w.reference_answer = ref.distance;
+      break;
+    }
+    case Algo::kMst: {
+      const SequentialMstResult ref = sequential_kruskal(*w.graph);
+      w.reference_tasks = ref.edges_in_forest;
+      w.reference_answer = ref.total_weight;
+      break;
+    }
+  }
+  w.reference_seconds = timer.seconds();
+  w.prepared = true;
+}
+
+}  // namespace smq::bench

@@ -1,0 +1,59 @@
+// The benchmark workload registry — Table 1 of the paper, materialized.
+//
+// Twelve (algorithm, graph) pairs mirroring the paper's evaluation:
+// SSSP and BFS on two road-like graphs (USA/WEST stand-ins) and two
+// power-law graphs (TWITTER/WEB stand-ins), A* and Boruvka MST on the
+// road graphs. Graph sizes scale with SMQ_BENCH_SCALE (default 1 keeps
+// every bench laptop-fast); passing --graph <file.gr> to a bench swaps
+// in a real DIMACS input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace smq::bench {
+
+enum class Algo { kSssp, kBfs, kAstar, kMst };
+
+std::string algo_name(Algo algo);
+
+struct Workload {
+  std::string name;  // e.g. "SSSP USA"
+  Algo algo = Algo::kSssp;
+  std::shared_ptr<const Graph> graph;
+  VertexId source = 0;
+  VertexId target = 0;        // A* only
+  double weight_scale = 100;  // A* heuristic scale (road generator's)
+
+  // Sequential-oracle data, filled by prepare_reference():
+  std::uint64_t reference_tasks = 0;   // work-increase denominator
+  std::uint64_t reference_answer = 0;  // checksum for validation
+  double reference_seconds = 0;        // sequential exact-PQ wall time
+  bool prepared = false;
+};
+
+/// Scale factor from SMQ_BENCH_SCALE (sqrt-applied to vertex counts).
+double bench_scale();
+
+/// Max thread count from SMQ_BENCH_THREADS (default 8).
+unsigned bench_max_threads();
+
+/// Thread counts to sweep: 1, 2, 4, ..., bench_max_threads().
+std::vector<unsigned> bench_thread_counts();
+
+/// The twelve paper benchmarks. `subset` filters by case-insensitive
+/// substring (empty = all).
+std::vector<Workload> standard_workloads(const std::string& subset = "");
+
+/// A small fixed workload set for smoke-testing benches (--quick).
+std::vector<Workload> quick_workloads();
+
+/// Compute the sequential oracle (distances checksum, reference task
+/// count, sequential wall time). Idempotent.
+void prepare_reference(Workload& workload);
+
+}  // namespace smq::bench

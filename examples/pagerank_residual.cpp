@@ -1,0 +1,60 @@
+// Residual-priority PageRank on a power-law graph — the paper's
+// "iterative machine learning" future-work direction (Section 6):
+// scheduling high-residual vertices first converges with far less work
+// than unordered processing, and the SMQ's rank quality shows up as
+// fewer re-activations.
+//
+//   ./examples/pagerank_residual [--scale S] [--threads T]
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "algorithms/pagerank.h"
+#include "core/stealing_multiqueue.h"
+#include "graph/generators.h"
+#include "queues/reld.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace smq;
+  const ArgParser args(argc, argv);
+  const auto scale = static_cast<unsigned>(args.get_int("scale", 12));
+  const unsigned threads = static_cast<unsigned>(args.get_int("threads", 4));
+  const double tolerance = args.get_double("tolerance", 1e-4);
+
+  const Graph graph = make_rmat(scale, {.seed = 9});
+  std::cout << "PageRank over RMAT scale " << scale << ": "
+            << graph.num_vertices() << " vertices, " << graph.num_edges()
+            << " edges\n";
+
+  PageRankOptions opts;
+  opts.tolerance = tolerance;
+  const SequentialPageRankResult ref = sequential_pagerank(graph, opts, 500);
+  std::cout << "power iteration converged in " << ref.iterations
+            << " rounds (" << ref.iterations * graph.num_vertices()
+            << " vertex updates)\n";
+
+  StealingMultiQueue<> smq(threads, {.steal_size = 4, .p_steal = 0.125});
+  const PageRankResult via_smq = parallel_pagerank(graph, smq, threads, opts);
+
+  ReldQueue reld(threads, {});
+  const PageRankResult via_reld =
+      parallel_pagerank(graph, reld, threads, opts);
+
+  auto report = [&](const char* name, const PageRankResult& r) {
+    double max_err = 0;
+    for (std::size_t v = 0; v < ref.ranks.size(); ++v) {
+      max_err = std::max(max_err, std::abs(r.ranks[v] - ref.ranks[v]));
+    }
+    std::cout << name << ": " << r.run.stats.pops << " tasks ("
+              << r.run.stats.wasted << " wasted) in "
+              << r.run.seconds * 1e3 << " ms, max error " << max_err << "\n";
+  };
+  report("SMQ ", via_smq);
+  report("RELD", via_reld);
+
+  const double top =
+      *std::max_element(ref.ranks.begin(), ref.ranks.end());
+  std::cout << "highest rank value: " << top << "\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "algorithms/astar.h"
+
+#include "queues/d_ary_heap.h"
+
+namespace smq {
+
+SequentialAStarResult sequential_astar(const Graph& graph, VertexId source,
+                                       VertexId target, double weight_scale) {
+  const EquirectangularHeuristic h(graph, target, weight_scale);
+  SequentialAStarResult result;
+  std::vector<std::uint64_t> g_val(graph.num_vertices(),
+                                   DistanceArray::kUnreached);
+  g_val[source] = 0;
+
+  DAryHeap<Task, 4> open;
+  open.push(Task{h(source), source});
+  while (!open.empty()) {
+    const Task task = open.pop();
+    const auto v = static_cast<VertexId>(task.payload);
+    const std::uint64_t g = task.priority - h(v);
+    if (g_val[v] < g) continue;  // stale
+    if (v == target) {
+      result.distance = g;
+      return result;
+    }
+    ++result.expanded;
+    for (const Graph::Neighbor& n : graph.neighbors(v)) {
+      const std::uint64_t ng = g + n.weight;
+      if (ng < g_val[n.to]) {
+        g_val[n.to] = ng;
+        open.push(Task{ng + h(n.to), n.to});
+      }
+    }
+  }
+  return result;  // unreachable
+}
+
+}  // namespace smq

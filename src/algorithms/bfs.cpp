@@ -1,0 +1,26 @@
+#include "algorithms/bfs.h"
+
+#include <deque>
+
+namespace smq {
+
+SequentialBfsResult sequential_bfs(const Graph& graph, VertexId source) {
+  SequentialBfsResult result;
+  result.levels.assign(graph.num_vertices(), DistanceArray::kUnreached);
+  result.levels[source] = 0;
+  std::deque<VertexId> frontier{source};
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    ++result.visited;
+    for (const Graph::Neighbor& n : graph.neighbors(v)) {
+      if (result.levels[n.to] == DistanceArray::kUnreached) {
+        result.levels[n.to] = result.levels[v] + 1;
+        frontier.push_back(n.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace smq

@@ -1,0 +1,56 @@
+#include "algorithms/boruvka.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace smq {
+
+namespace {
+
+/// Plain sequential union-find with path compression for Kruskal.
+class SeqUnionFind {
+ public:
+  explicit SeqUnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  bool unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+SequentialMstResult sequential_kruskal(const Graph& graph) {
+  std::vector<Edge> edges = graph.to_edges();
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.weight < b.weight;
+  });
+  SeqUnionFind uf(graph.num_vertices());
+  SequentialMstResult result;
+  for (const Edge& e : edges) {
+    if (e.from == e.to) continue;
+    if (uf.unite(e.from, e.to)) {
+      result.total_weight += e.weight;
+      ++result.edges_in_forest;
+    }
+  }
+  return result;
+}
+
+}  // namespace smq

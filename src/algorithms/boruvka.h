@@ -1,0 +1,190 @@
+// Parallel Boruvka minimum spanning tree / forest (paper Section 5).
+//
+// Task = component, priority = component degree (the paper: "task
+// priority equal to the degree of the associated vertex") — processing
+// small components first keeps merges cheap and balanced. A task scans
+// its component's candidate edge list for the lightest edge leaving the
+// component, locks both component roots in id order, merges the smaller
+// edge list into the larger, and reschedules the merged component.
+// Self-edges are compacted away during scans, so total edge-list work is
+// O(E alpha(V)) amortized across the run.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algorithms/union_find.h"
+#include "graph/graph.h"
+#include "sched/executor.h"
+#include "sched/scheduler_traits.h"
+#include "support/padding.h"
+#include "support/spinlock.h"
+
+namespace smq {
+
+struct MstResult {
+  std::uint64_t total_weight = 0;
+  std::uint64_t edges_in_forest = 0;
+  RunResult run;
+};
+
+namespace detail {
+
+struct Component {
+  Spinlock lock;
+  std::vector<Edge> candidates;  // edges possibly leaving the component
+};
+
+}  // namespace detail
+
+template <typename Ctx>
+void merge_components(UnionFind& uf,
+                      std::vector<Padded<detail::Component>>& components,
+                      VertexId a, VertexId b, const Edge& connecting,
+                      std::atomic<std::uint64_t>& total_weight,
+                      std::atomic<std::uint64_t>& forest_edges, Ctx& ctx);
+
+template <PriorityScheduler S>
+MstResult parallel_boruvka(const Graph& graph, S& sched,
+                           unsigned num_threads) {
+  const VertexId n = graph.num_vertices();
+  UnionFind uf(n);
+  std::vector<Padded<detail::Component>> components(n);
+  std::atomic<std::uint64_t> total_weight{0};
+  std::atomic<std::uint64_t> forest_edges{0};
+
+  // Symmetrize candidate lists: MST treats arcs as undirected, and the
+  // cut property needs every component to see *all* edges crossing its
+  // cut, including in-arcs. Directed inputs (e.g. RMAT) would otherwise
+  // produce a heavier forest.
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Graph::Neighbor& e : graph.neighbors(v)) {
+      if (e.to == v) continue;
+      components[v].value.candidates.push_back(Edge{v, e.to, e.weight});
+      components[e.to].value.candidates.push_back(Edge{e.to, v, e.weight});
+    }
+  }
+  std::vector<Task> seeds;
+  seeds.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto& comp = components[v].value;
+    if (!comp.candidates.empty()) {
+      seeds.push_back(Task{comp.candidates.size(), v});
+    }
+  }
+
+  auto handler = [&](Task task, auto& ctx) {
+    const auto claimed = static_cast<VertexId>(task.payload);
+    for (int attempt = 0; attempt < 128; ++attempt) {
+      const VertexId root = uf.find(claimed);
+      detail::Component& comp = components[root].value;
+      comp.lock.lock();
+      if (uf.find(root) != root) {
+        comp.lock.unlock();
+        ctx.mark_wasted();  // merged away while we raced for the lock
+        return;
+      }
+      // Find the lightest edge leaving the component; drop internal edges.
+      Edge best{0, 0, 0};
+      bool found = false;
+      auto& cand = comp.candidates;
+      std::size_t keep = 0;
+      for (const Edge& e : cand) {
+        if (uf.find(e.to) == root) continue;  // self-edge after merges
+        cand[keep++] = e;
+        if (!found || e.weight < best.weight) {
+          best = e;
+          found = true;
+        }
+      }
+      cand.resize(keep);
+      if (!found) {
+        comp.lock.unlock();  // component is a finished MST piece
+        return;
+      }
+      const VertexId other = uf.find(best.to);
+      if (other == root) {
+        comp.lock.unlock();
+        continue;  // other side merged mid-scan; rescan
+      }
+      // Lock ordering by root id prevents deadlock; we already hold
+      // `root`, so if the other root is smaller we must restart.
+      if (other < root) {
+        comp.lock.unlock();
+        detail::Component& lo = components[other].value;
+        detail::Component& hi = comp;
+        lo.lock.lock();
+        hi.lock.lock();
+        if (uf.find(other) != other || uf.find(root) != root ||
+            uf.find(best.to) != other) {
+          hi.lock.unlock();
+          lo.lock.unlock();
+          continue;  // world changed; revalidate from scratch
+        }
+        merge_components(uf, components, root, other, best, total_weight,
+                         forest_edges, ctx);
+        hi.lock.unlock();
+        lo.lock.unlock();
+        return;
+      }
+      detail::Component& second = components[other].value;
+      second.lock.lock();
+      if (uf.find(other) != other || uf.find(best.to) != other) {
+        second.lock.unlock();
+        comp.lock.unlock();
+        continue;
+      }
+      merge_components(uf, components, root, other, best, total_weight,
+                       forest_edges, ctx);
+      second.lock.unlock();
+      comp.lock.unlock();
+      return;
+    }
+    // Contention cap hit: requeue ourselves rather than spin.
+    ctx.push(Task{task.priority, claimed});
+  };
+
+  RunResult run = run_parallel(sched, std::span<const Task>(seeds), handler,
+                               num_threads);
+  return MstResult{total_weight.load(), forest_edges.load(), run};
+}
+
+/// Merge component `b` into `a` (both locked, both roots), record the
+/// connecting edge, and reschedule the survivor.
+template <typename Ctx>
+void merge_components(UnionFind& uf,
+                      std::vector<Padded<detail::Component>>& components,
+                      VertexId a, VertexId b, const Edge& connecting,
+                      std::atomic<std::uint64_t>& total_weight,
+                      std::atomic<std::uint64_t>& forest_edges, Ctx& ctx) {
+  auto& ca = components[a].value.candidates;
+  auto& cb = components[b].value.candidates;
+  // Survivor = larger candidate list (small-into-large keeps total merge
+  // work O(E log V)).
+  VertexId survivor = a, absorbed = b;
+  if (cb.size() > ca.size()) std::swap(survivor, absorbed);
+  auto& cs = components[survivor].value.candidates;
+  auto& cx = components[absorbed].value.candidates;
+  cs.insert(cs.end(), cx.begin(), cx.end());
+  cx.clear();
+  cx.shrink_to_fit();
+  uf.link(absorbed, survivor);
+
+  total_weight.fetch_add(connecting.weight, std::memory_order_relaxed);
+  forest_edges.fetch_add(1, std::memory_order_relaxed);
+  ctx.push(Task{cs.size(), survivor});
+}
+
+/// Exact sequential Kruskal: MST oracle for tests and the reference task
+/// count (= number of merges = V - #components) for work increase.
+struct SequentialMstResult {
+  std::uint64_t total_weight = 0;
+  std::uint64_t edges_in_forest = 0;
+};
+
+SequentialMstResult sequential_kruskal(const Graph& graph);
+
+}  // namespace smq

@@ -1,0 +1,39 @@
+#include "algorithms/pagerank.h"
+
+#include <cmath>
+
+namespace smq {
+
+SequentialPageRankResult sequential_pagerank(const Graph& graph,
+                                             PageRankOptions opts,
+                                             unsigned max_iterations) {
+  // Jacobi power iteration of the same unnormalized fixpoint the push
+  // variant solves: r(v) = (1 - d) + d * sum_{u->v} r(u) / outdeg(u),
+  // with dangling-vertex mass dropped (matching the push rule).
+  const std::size_t n = graph.num_vertices();
+  SequentialPageRankResult result;
+  result.ranks.assign(n, 1.0 - opts.damping);
+  std::vector<double> next(n);
+
+  for (unsigned iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    std::fill(next.begin(), next.end(), 1.0 - opts.damping);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto degree = static_cast<double>(graph.out_degree(u));
+      if (degree == 0) continue;
+      const double share = opts.damping * result.ranks[u] / degree;
+      for (const Graph::Neighbor& e : graph.neighbors(u)) {
+        next[e.to] += share;
+      }
+    }
+    double delta = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      delta = std::max(delta, std::abs(next[v] - result.ranks[v]));
+    }
+    result.ranks.swap(next);
+    if (delta < opts.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace smq

@@ -1,0 +1,163 @@
+// Residual-priority PageRank — the paper's future-work direction
+// ("other applications, such as iterative machine learning algorithms
+// e.g. [2]", Section 6), in the style of relaxed-scheduling residual
+// iteration: each task carries a vertex whose accumulated residual is
+// pushed to its out-neighbours; task priority is the (quantized,
+// inverted) residual magnitude so that high-residual vertices are
+// processed first. Priority order only affects convergence *speed*, so
+// this workload shows the wasted-work/rank story on a non-graph-search
+// algorithm: bad schedulers re-process low-residual vertices.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sched/executor.h"
+#include "sched/scheduler_traits.h"
+
+namespace smq {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-4;  // residual threshold for (re)scheduling
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  RunResult run;
+};
+
+namespace detail {
+
+/// Quantized priority: larger residual => smaller priority value (more
+/// urgent). log2-bucketized so priorities are stable integers.
+inline std::uint64_t residual_priority(double residual) noexcept {
+  if (residual <= 0) return Task::kInfinity;
+  // residual in (0, ~1]; -log2(residual) in [0, ~60).
+  const double bucket = -std::log2(residual);
+  return bucket <= 0 ? 0 : static_cast<std::uint64_t>(bucket * 4.0);
+}
+
+/// Atomic double accumulator (CAS add), standard for residual PR.
+class AtomicDoubleArray {
+ public:
+  explicit AtomicDoubleArray(std::size_t n)
+      : bits_(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bits_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  double load(std::size_t i) const noexcept {
+    return from_bits(bits_[i].load(std::memory_order_relaxed));
+  }
+
+  void store(std::size_t i, double v) noexcept {
+    bits_[i].store(to_bits(v), std::memory_order_relaxed);
+  }
+
+  double fetch_add(std::size_t i, double delta) noexcept {
+    std::uint64_t observed = bits_[i].load(std::memory_order_relaxed);
+    while (true) {
+      const double current = from_bits(observed);
+      if (bits_[i].compare_exchange_weak(observed, to_bits(current + delta),
+                                         std::memory_order_relaxed)) {
+        return current;
+      }
+    }
+  }
+
+  /// Swap the stored value with zero; returns the previous value.
+  double exchange_zero(std::size_t i) noexcept {
+    return from_bits(bits_[i].exchange(0, std::memory_order_relaxed));
+  }
+
+ private:
+  static std::uint64_t to_bits(double v) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double from_bits(std::uint64_t bits) noexcept {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bits_;
+};
+
+}  // namespace detail
+
+/// Push-based residual PageRank over any priority scheduler. Terminates
+/// when every vertex's residual falls below opts.tolerance.
+template <PriorityScheduler S>
+PageRankResult parallel_pagerank(const Graph& graph, S& sched,
+                                 unsigned num_threads,
+                                 PageRankOptions opts = {}) {
+  const std::size_t n = graph.num_vertices();
+  detail::AtomicDoubleArray rank(n);
+  detail::AtomicDoubleArray residual(n);
+
+  const double base = 1.0 - opts.damping;
+  std::vector<Task> seeds;
+  seeds.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    rank.store(v, 0.0);
+    residual.store(v, base);
+    seeds.push_back(Task{detail::residual_priority(base), v});
+  }
+
+  RunResult run = run_parallel(
+      sched, std::span<const Task>(seeds),
+      [&](Task task, auto& ctx) {
+        const auto v = static_cast<std::size_t>(task.payload);
+        const double r = residual.exchange_zero(v);
+        if (r < opts.tolerance) {
+          // Residual already harvested by an earlier (duplicate) task.
+          if (r > 0) residual.fetch_add(v, r);  // put tiny residue back
+          ctx.mark_wasted();
+          return;
+        }
+        rank.fetch_add(v, r);
+        const auto degree = static_cast<double>(graph.out_degree(v));
+        if (degree == 0) return;
+        const double share = opts.damping * r / degree;
+        for (const Graph::Neighbor& e : graph.neighbors(static_cast<VertexId>(v))) {
+          const double before = residual.fetch_add(e.to, share);
+          const double after = before + share;
+          // Schedule the neighbour when its residual first crosses the
+          // tolerance (crossing exactly once avoids task explosion).
+          if (before < opts.tolerance && after >= opts.tolerance) {
+            ctx.push(Task{detail::residual_priority(after), e.to});
+          }
+        }
+      },
+      num_threads);
+
+  PageRankResult result;
+  result.ranks.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    result.ranks[v] = rank.load(v) + residual.load(v);
+  }
+  result.run = run;
+  return result;
+}
+
+/// Exact sequential power iteration (oracle).
+struct SequentialPageRankResult {
+  std::vector<double> ranks;
+  unsigned iterations = 0;
+};
+
+SequentialPageRankResult sequential_pagerank(const Graph& graph,
+                                             PageRankOptions opts = {},
+                                             unsigned max_iterations = 200);
+
+}  // namespace smq

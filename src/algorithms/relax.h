@@ -1,0 +1,72 @@
+// Shared label-correcting machinery for SSSP / BFS / A*.
+//
+// All three workloads are "relax a vertex, CAS-min a distance, push the
+// successors" loops over a relaxed priority scheduler; only the task
+// priority and the edge cost differ. A task is *wasted* (the paper's
+// metric) if by the time it is popped its vertex already has a better
+// distance — exactly the out-of-order processing cost the paper
+// attributes to rank relaxation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sched/executor.h"
+#include "sched/task.h"
+
+namespace smq {
+
+/// Atomic distance array with CAS-min updates.
+class DistanceArray {
+ public:
+  explicit DistanceArray(std::size_t n)
+      : size_(n), dist_(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dist_[i].store(kUnreached, std::memory_order_relaxed);
+    }
+  }
+
+  static constexpr std::uint64_t kUnreached = Task::kInfinity;
+
+  std::uint64_t load(VertexId v) const noexcept {
+    return dist_[v].load(std::memory_order_relaxed);
+  }
+
+  void store(VertexId v, std::uint64_t d) noexcept {
+    dist_[v].store(d, std::memory_order_relaxed);
+  }
+
+  /// Lower dist[v] to `d` if it improves; returns true when we won.
+  bool relax_min(VertexId v, std::uint64_t d) noexcept {
+    std::uint64_t current = dist_[v].load(std::memory_order_relaxed);
+    while (d < current) {
+      if (dist_[v].compare_exchange_weak(current, d,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  std::vector<std::uint64_t> snapshot() const {
+    std::vector<std::uint64_t> out(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = load(static_cast<VertexId>(i));
+    return out;
+  }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> dist_;
+};
+
+struct ShortestPathResult {
+  std::vector<std::uint64_t> distances;  // kUnreached if not reachable
+  RunResult run;
+};
+
+}  // namespace smq

@@ -1,0 +1,30 @@
+#include "algorithms/sssp.h"
+
+#include "queues/d_ary_heap.h"
+
+namespace smq {
+
+SequentialSsspResult sequential_sssp(const Graph& graph, VertexId source) {
+  SequentialSsspResult result;
+  result.distances.assign(graph.num_vertices(), DistanceArray::kUnreached);
+  result.distances[source] = 0;
+
+  DAryHeap<Task, 4> heap;
+  heap.push(Task{0, source});
+  while (!heap.empty()) {
+    const Task task = heap.pop();
+    const auto v = static_cast<VertexId>(task.payload);
+    if (result.distances[v] < task.priority) continue;  // stale entry
+    ++result.settled;
+    for (const Graph::Neighbor& n : graph.neighbors(v)) {
+      const std::uint64_t nd = task.priority + n.weight;
+      if (nd < result.distances[n.to]) {
+        result.distances[n.to] = nd;
+        heap.push(Task{nd, n.to});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace smq

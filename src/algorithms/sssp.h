@@ -1,0 +1,57 @@
+// Single-source shortest paths over a relaxed priority scheduler.
+//
+// The asynchronous label-correcting formulation the paper benchmarks
+// (Galois' delta-stepping collapses to this when the scheduler itself
+// provides the priority order): task = (tentative distance, vertex);
+// processing re-checks the distance (stale => wasted work), then relaxes
+// all out-edges with CAS-min and pushes improved neighbours.
+#pragma once
+
+#include <span>
+
+#include "algorithms/relax.h"
+#include "graph/graph.h"
+#include "sched/executor.h"
+#include "sched/scheduler_traits.h"
+
+namespace smq {
+
+/// Priority mapping for SSSP: the tentative distance itself. OBIM/PMOD
+/// group it by their delta internally.
+template <PriorityScheduler S>
+ShortestPathResult parallel_sssp(const Graph& graph, VertexId source,
+                                 S& sched, unsigned num_threads) {
+  DistanceArray dist(graph.num_vertices());
+  dist.store(source, 0);
+  const Task seed{0, source};
+
+  RunResult run = run_parallel(
+      sched, std::span<const Task>(&seed, 1),
+      [&](Task task, auto& ctx) {
+        const auto v = static_cast<VertexId>(task.payload);
+        const std::uint64_t d = task.priority;
+        if (dist.load(v) < d) {
+          ctx.mark_wasted();
+          return;
+        }
+        for (const Graph::Neighbor& n : graph.neighbors(v)) {
+          const std::uint64_t nd = d + n.weight;
+          if (dist.relax_min(n.to, nd)) ctx.push(Task{nd, n.to});
+        }
+      },
+      num_threads);
+
+  return ShortestPathResult{dist.snapshot(), run};
+}
+
+/// Exact sequential Dijkstra: correctness oracle and the source of the
+/// reference task count for the work-increase metric (settles each
+/// reachable vertex exactly once).
+struct SequentialSsspResult {
+  std::vector<std::uint64_t> distances;
+  std::uint64_t settled = 0;  // reference task count
+};
+
+SequentialSsspResult sequential_sssp(const Graph& graph, VertexId source);
+
+}  // namespace smq

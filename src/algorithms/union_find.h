@@ -1,0 +1,59 @@
+// Concurrent union-find for parallel Boruvka.
+//
+// find() is wait-free for readers (path halving with relaxed CAS — the
+// structure only ever contracts, so stale reads are harmless and retried
+// by the caller's validation). link() is performed by Boruvka while
+// holding both component locks, so the parent store needs no CAS loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.h"
+
+namespace smq {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n)
+      : size_(n), parent_(std::make_unique<std::atomic<VertexId>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      parent_[i].store(static_cast<VertexId>(i), std::memory_order_relaxed);
+    }
+  }
+
+  VertexId find(VertexId v) const noexcept {
+    while (true) {
+      VertexId parent = parent_[v].load(std::memory_order_relaxed);
+      if (parent == v) return v;
+      const VertexId grand = parent_[parent].load(std::memory_order_relaxed);
+      if (grand != parent) {
+        // Path halving; losing the CAS only means someone else compressed.
+        VertexId expected = parent;
+        parent_[v].compare_exchange_weak(expected, grand,
+                                         std::memory_order_relaxed);
+      }
+      v = parent;
+    }
+  }
+
+  /// Make `child` point at `root`. Caller must hold locks making both
+  /// current roots stable (Boruvka locks both components).
+  void link(VertexId child, VertexId root) noexcept {
+    parent_[child].store(root, std::memory_order_release);
+  }
+
+  bool same_component(VertexId a, VertexId b) const noexcept {
+    // Best-effort under concurrency; exact when the caller has both locked.
+    return find(a) == find(b);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<std::atomic<VertexId>[]> parent_;
+};
+
+}  // namespace smq

@@ -1,0 +1,96 @@
+// NUMA-aware weighted queue sampling (paper Section 4, "NUMA-Awareness").
+//
+// Queues are assigned to virtual NUMA nodes through their owning thread
+// (queue q belongs to thread q mod T). When a thread samples a queue, all
+// queues of its own node carry weight 1 and every remote queue carries
+// weight 1/K. Sampling is done in two stages — flip a biased coin for
+// local-vs-remote, then pick uniformly inside the chosen group — which is
+// exactly equivalent to the weighted distribution and O(1).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "sched/topology.h"
+#include "support/rng.h"
+
+namespace smq {
+
+class QueueSampler {
+ public:
+  /// Uniform sampling over [0, num_queues) — the UMA / K = 1 case.
+  explicit QueueSampler(std::size_t num_queues) : num_queues_(num_queues) {}
+
+  /// Weighted sampling: own-node queues weight 1, remote queues 1/K.
+  QueueSampler(std::size_t num_queues, unsigned num_threads,
+               const Topology& topo, double k_weight)
+      : num_queues_(num_queues) {
+    if (k_weight <= 1.0 || topo.num_nodes() <= 1) return;  // stays uniform
+    per_node_.resize(topo.num_nodes());
+    thread_node_.resize(num_threads);
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+      thread_node_[tid] = topo.node_of_thread(tid);
+    }
+    for (std::size_t q = 0; q < num_queues; ++q) {
+      const unsigned owner = static_cast<unsigned>(q % num_threads);
+      const unsigned node = topo.node_of_thread(owner);
+      for (unsigned n = 0; n < topo.num_nodes(); ++n) {
+        (n == node ? per_node_[n].local : per_node_[n].remote).push_back(q);
+      }
+    }
+    for (auto& group : per_node_) {
+      const double w_local = static_cast<double>(group.local.size());
+      const double w_remote =
+          static_cast<double>(group.remote.size()) / k_weight;
+      group.p_local =
+          w_local + w_remote == 0 ? 1.0 : w_local / (w_local + w_remote);
+    }
+  }
+
+  std::size_t num_queues() const noexcept { return num_queues_; }
+  bool is_weighted() const noexcept { return !per_node_.empty(); }
+
+  std::size_t sample(unsigned tid, Xoshiro256& rng) const {
+    if (per_node_.empty()) return rng.next_below(num_queues_);
+    const NodeGroup& group = per_node_[thread_node_[tid]];
+    if (!group.local.empty() && rng.next_bool(group.p_local)) {
+      return group.local[rng.next_below(group.local.size())];
+    }
+    if (group.remote.empty()) {
+      return group.local[rng.next_below(group.local.size())];
+    }
+    return group.remote[rng.next_below(group.remote.size())];
+  }
+
+  /// Whether `queue` is remote for `tid` (used for the remote-access stat).
+  bool is_remote(unsigned tid, std::size_t queue) const noexcept {
+    if (per_node_.empty()) return false;
+    // Queues are distributed round-robin, so membership is computable.
+    const unsigned owner =
+        static_cast<unsigned>(queue % thread_node_.size());
+    return thread_node_[owner] != thread_node_[tid];
+  }
+
+ private:
+  struct NodeGroup {
+    std::vector<std::size_t> local;
+    std::vector<std::size_t> remote;
+    double p_local = 1.0;
+  };
+
+  std::size_t num_queues_;
+  std::vector<NodeGroup> per_node_;
+  std::vector<unsigned> thread_node_;
+};
+
+inline QueueSampler make_queue_sampler(std::size_t num_queues,
+                                       unsigned num_threads,
+                                       const Topology* topo, double k_weight) {
+  if (topo == nullptr || k_weight <= 1.0 || topo->num_nodes() <= 1) {
+    return QueueSampler(num_queues);
+  }
+  return QueueSampler(num_queues, num_threads, *topo, k_weight);
+}
+
+}  // namespace smq

@@ -1,0 +1,107 @@
+// The stealing buffer of the SMQ (paper Listing 4).
+//
+// A single-producer (the queue owner) / multi-consumer (stealers, and the
+// owner itself) batch hand-off slot. Metadata — the buffer epoch and the
+// "tasks are stolen" flag — live in one 64-bit atomic, packed as
+// (epoch << 1) | stolen. The owner refills the buffer only while the
+// stolen flag is set (so no reader will hand out its cells), then
+// publishes with a release store that bumps the epoch and clears the
+// flag. Consumers read optimistically and claim the whole batch with a
+// single CAS (epoch, stolen=0) -> (epoch, stolen=1); a failed CAS means
+// the batch was claimed or republished and the read data is discarded.
+//
+// Buffer cells are relaxed atomics, making the optimistic read a
+// well-defined seqlock rather than a benign-race hack.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sched/task.h"
+
+namespace smq {
+
+class StealingBuffer {
+ public:
+  explicit StealingBuffer(std::size_t capacity)
+      : prio_(capacity), payload_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const noexcept { return prio_.size(); }
+
+  /// True if the current batch has been claimed (or never published).
+  bool is_stolen() const noexcept {
+    return (state_.load(std::memory_order_acquire) & 1u) != 0;
+  }
+
+  /// Owner only, and only while is_stolen(): publish a new batch.
+  void publish(const Task* tasks, std::size_t count) noexcept {
+    assert(is_stolen());
+    assert(count <= capacity());
+    for (std::size_t i = 0; i < count; ++i) {
+      prio_[i].store(tasks[i].priority, std::memory_order_relaxed);
+      payload_[i].store(tasks[i].payload, std::memory_order_relaxed);
+    }
+    count_.store(count, std::memory_order_relaxed);
+    const std::uint64_t epoch = state_.load(std::memory_order_relaxed) >> 1;
+    state_.store((epoch + 1) << 1, std::memory_order_release);
+  }
+
+  /// Priority of the batch head, or Task::kInfinity when stolen/empty.
+  /// Safe from any thread (paper's top()).
+  std::uint64_t top_priority() const noexcept {
+    while (true) {
+      const std::uint64_t before = state_.load(std::memory_order_acquire);
+      if ((before & 1u) != 0) return Task::kInfinity;
+      if (count_.load(std::memory_order_relaxed) == 0) return Task::kInfinity;
+      const std::uint64_t p = prio_[0].load(std::memory_order_relaxed);
+      if (state_.load(std::memory_order_acquire) == before) return p;
+      // Epoch moved mid-read: retry (paper Listing 4, line 24).
+    }
+  }
+
+  /// Attempt to claim the whole batch (paper's steal(..)). On success the
+  /// tasks are appended to `out` in priority order and the stolen flag is
+  /// set; returns the number of tasks taken. Returns 0 if the batch was
+  /// already stolen or a race lost.
+  std::size_t try_claim(std::vector<Task>& out) {
+    while (true) {
+      const std::uint64_t before = state_.load(std::memory_order_acquire);
+      if ((before & 1u) != 0) return 0;  // already stolen
+      const std::size_t n = count_.load(std::memory_order_relaxed);
+      const std::size_t base = out.size();
+      out.resize(base + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[base + i].priority = prio_[i].load(std::memory_order_relaxed);
+        out[base + i].payload = payload_[i].load(std::memory_order_relaxed);
+      }
+      std::uint64_t expected = before;
+      if (state_.compare_exchange_strong(expected, before | 1u,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        return n;
+      }
+      out.resize(base);  // discard optimistic read
+      if ((expected & 1u) != 0 && (expected >> 1) == (before >> 1)) {
+        return 0;  // same epoch claimed by someone else
+      }
+      // Epoch moved: a fresh batch is there, retry.
+    }
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return state_.load(std::memory_order_acquire) >> 1;
+  }
+
+ private:
+  // Starts "stolen" so the owner's first fill publishes epoch 1.
+  std::atomic<std::uint64_t> state_{1};
+  std::atomic<std::size_t> count_{0};
+  std::vector<std::atomic<std::uint64_t>> prio_;
+  std::vector<std::atomic<std::uint64_t>> payload_;
+};
+
+}  // namespace smq

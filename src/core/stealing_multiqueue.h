@@ -1,0 +1,164 @@
+// The Stealing Multi-Queue (paper Section 2.2, Listing 2) — the paper's
+// primary contribution.
+//
+// One thread-local priority queue per thread (m = T). insert() is purely
+// local. delete() first drains the thread's buffer of previously stolen
+// tasks; otherwise, with probability p_steal it compares the top of a
+// randomly chosen victim queue against its own best task and steals the
+// victim's whole published batch when the victim wins; otherwise it takes
+// from its own queue. Stealing also kicks in whenever the local queue is
+// empty, which keeps the scheduler work-conserving.
+//
+// The local queue type is a template parameter: DAryHeap (Section 4) or
+// SequentialSkipList (Appendix D). NUMA-aware victim sampling (Section 4)
+// plugs in through QueueSampler.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/heap_with_stealing.h"
+#include "core/numa_sampler.h"
+#include "queues/d_ary_heap.h"
+#include "sched/task.h"
+#include "support/padding.h"
+#include "support/rng.h"
+
+namespace smq {
+
+struct SmqConfig {
+  std::size_t steal_size = 4;  // batch size, SIZE_steal (paper default 4)
+  double p_steal = 1.0 / 8.0;  // stealing probability (paper default 1/8)
+  std::uint64_t seed = 1;
+  const Topology* topology = nullptr;  // NUMA-aware victim sampling
+  double numa_weight_k = 8.0;          // weight K (paper default 8)
+};
+
+template <typename LocalPQ = DAryHeap<Task, 4>>
+class StealingMultiQueue {
+ public:
+  using QueueType = HeapWithStealingBuffer<LocalPQ>;
+
+  StealingMultiQueue(unsigned num_threads, SmqConfig cfg = {})
+      : cfg_(cfg),
+        num_threads_(num_threads),
+        locals_(num_threads),
+        sampler_(make_queue_sampler(num_threads, num_threads, cfg.topology,
+                                    cfg.numa_weight_k)) {
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+      Local& local = locals_[tid].value;
+      local.queue = std::make_unique<QueueType>(cfg.steal_size);
+      local.rng = Xoshiro256(thread_seed(cfg.seed, tid));
+      local.stolen_tasks.reserve(cfg.steal_size);
+    }
+  }
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+
+  /// insert(task): purely local (paper Listing 2, lines 6-7).
+  void push(unsigned tid, Task task) {
+    locals_[tid].value.queue->add_local(task);
+  }
+
+  /// delete(): stolen-task buffer, then probabilistic steal, then the
+  /// local queue, then a forced steal (paper Listing 2, lines 9-24).
+  std::optional<Task> try_pop(unsigned tid) {
+    Local& me = locals_[tid].value;
+    if (me.next_stolen < me.stolen_tasks.size()) {
+      return me.stolen_tasks[me.next_stolen++];
+    }
+    if (me.rng.next_bool(cfg_.p_steal)) {
+      if (std::optional<Task> task = try_steal(tid)) return task;
+    }
+    if (std::optional<Task> task = extract_top_local(me)) return task;
+    return try_steal(tid);  // local queue drained
+  }
+
+  // ---- introspection ---------------------------------------------------
+
+  std::uint64_t steals(unsigned tid) const noexcept {
+    return locals_[tid].value.steals;
+  }
+  std::uint64_t steal_failures(unsigned tid) const noexcept {
+    return locals_[tid].value.steal_fails;
+  }
+  std::uint64_t remote_steals(unsigned tid) const noexcept {
+    return locals_[tid].value.remote_steals;
+  }
+  std::size_t local_heap_size(unsigned tid) const noexcept {
+    return locals_[tid].value.queue->heap_size();
+  }
+  const SmqConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Local {
+    std::unique_ptr<QueueType> queue;
+    // The paper's stolenTasks buffer (capacity SIZE_steal - 1): remainder
+    // of the last stolen batch, consumed FIFO before any other source.
+    std::vector<Task> stolen_tasks;
+    std::size_t next_stolen = 0;
+    Xoshiro256 rng;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_fails = 0;
+    std::uint64_t remote_steals = 0;
+  };
+
+  /// trySteal() (paper Listing 2, lines 26-39).
+  std::optional<Task> try_steal(unsigned tid) {
+    Local& me = locals_[tid].value;
+    if (num_threads_ <= 1) return std::nullopt;
+    std::size_t victim = sampler_.sample(tid, me.rng);
+    while (victim == tid) victim = sampler_.sample(tid, me.rng);
+    QueueType& victim_queue = *locals_[victim].value.queue;
+
+    // Steal only when the victim's visible top beats our local best.
+    if (victim_queue.steal_top_priority() >=
+        me.queue->local_top_priority()) {
+      return std::nullopt;
+    }
+    me.stolen_tasks.clear();
+    me.next_stolen = 0;
+    const std::size_t n = victim_queue.try_steal(me.stolen_tasks);
+    if (n == 0) {
+      ++me.steal_fails;
+      return std::nullopt;
+    }
+    ++me.steals;
+    if (sampler_.is_remote(tid, victim)) ++me.remote_steals;
+    me.next_stolen = 1;  // hand out tasks [1, n) on subsequent pops
+    return me.stolen_tasks.front();
+  }
+
+  /// Owner-side extraction: the better of the local heap top and the
+  /// thread's own published batch, reclaiming the latter when it wins.
+  std::optional<Task> extract_top_local(Local& me) {
+    while (true) {
+      switch (me.queue->classify_pop()) {
+        case OwnerPopSource::kEmpty:
+          return std::nullopt;
+        case OwnerPopSource::kHeap:
+          return me.queue->pop_heap();
+        case OwnerPopSource::kBuffer: {
+          me.stolen_tasks.clear();
+          me.next_stolen = 0;
+          const std::size_t n = me.queue->reclaim_buffer(me.stolen_tasks);
+          if (n == 0) continue;  // a stealer won the race; re-classify
+          me.next_stolen = 1;
+          return me.stolen_tasks.front();
+        }
+      }
+    }
+  }
+
+  SmqConfig cfg_;
+  unsigned num_threads_;
+  std::vector<Padded<Local>> locals_;
+  QueueSampler sampler_;
+};
+
+/// The heap-based SMQ the paper evaluates as its main configuration.
+using SmqHeap = StealingMultiQueue<DAryHeap<Task, 4>>;
+
+}  // namespace smq

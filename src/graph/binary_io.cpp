@@ -1,0 +1,125 @@
+#include "graph/binary_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace smq {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x534D515F47524150ull;  // "SMQ_GRAP"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary graph: truncated input");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& data) {
+  write_pod<std::uint64_t>(out, data.size());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  const auto count = read_pod<std::uint64_t>(in);
+  std::vector<T> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("binary graph: truncated array");
+  return data;
+}
+
+}  // namespace
+
+void write_binary_graph(std::ostream& out, const Graph& graph) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint32_t>(out, graph.num_vertices());
+
+  // Serialize as an edge list: simple, and from_edges() rebuilds the CSR
+  // deterministically.
+  std::vector<std::uint32_t> from, to, weight;
+  from.reserve(graph.num_edges());
+  to.reserve(graph.num_edges());
+  weight.reserve(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const Graph::Neighbor& n : graph.neighbors(v)) {
+      from.push_back(v);
+      to.push_back(n.to);
+      weight.push_back(n.weight);
+    }
+  }
+  write_vector(out, from);
+  write_vector(out, to);
+  write_vector(out, weight);
+
+  const Coordinates& coords = graph.coordinates();
+  write_pod<std::uint8_t>(out, coords.empty() ? 0 : 1);
+  if (!coords.empty()) {
+    write_vector(out, coords.x);
+    write_vector(out, coords.y);
+  }
+}
+
+void save_binary_graph(const std::string& path, const Graph& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("binary graph: cannot open " + path);
+  write_binary_graph(out, graph);
+}
+
+Graph read_binary_graph(std::istream& in) {
+  if (read_pod<std::uint64_t>(in) != kMagic) {
+    throw std::runtime_error("binary graph: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("binary graph: unsupported version");
+  }
+  const auto num_vertices = read_pod<std::uint32_t>(in);
+  const auto from = read_vector<std::uint32_t>(in);
+  const auto to = read_vector<std::uint32_t>(in);
+  const auto weight = read_vector<std::uint32_t>(in);
+  if (from.size() != to.size() || from.size() != weight.size()) {
+    throw std::runtime_error("binary graph: inconsistent edge arrays");
+  }
+  std::vector<Edge> edges(from.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (from[i] >= num_vertices || to[i] >= num_vertices) {
+      throw std::runtime_error("binary graph: vertex id out of range");
+    }
+    edges[i] = Edge{from[i], to[i], weight[i]};
+  }
+  Graph graph = Graph::from_edges(num_vertices, std::move(edges));
+
+  if (read_pod<std::uint8_t>(in) != 0) {
+    Coordinates coords;
+    coords.x = read_vector<double>(in);
+    coords.y = read_vector<double>(in);
+    if (coords.x.size() != num_vertices || coords.y.size() != num_vertices) {
+      throw std::runtime_error("binary graph: bad coordinates block");
+    }
+    graph.set_coordinates(std::move(coords));
+  }
+  graph.set_description("binary cache");
+  return graph;
+}
+
+Graph load_binary_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("binary graph: cannot open " + path);
+  return read_binary_graph(in);
+}
+
+}  // namespace smq

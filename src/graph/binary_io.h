@@ -1,0 +1,23 @@
+// Binary CSR graph cache.
+//
+// Parsing multi-gigabyte DIMACS text (the real USA graph is ~58M arcs)
+// dominates bench startup, so graphs can be saved to / loaded from a
+// compact binary format once. Format: magic, version, |V|, |E|, the CSR
+// offset and adjacency arrays, then an optional coordinates block.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace smq {
+
+void write_binary_graph(std::ostream& out, const Graph& graph);
+void save_binary_graph(const std::string& path, const Graph& graph);
+
+/// Throws std::runtime_error on bad magic/version/truncation.
+Graph read_binary_graph(std::istream& in);
+Graph load_binary_graph(const std::string& path);
+
+}  // namespace smq

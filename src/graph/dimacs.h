@@ -1,0 +1,28 @@
+// DIMACS shortest-path challenge format I/O.
+//
+// The paper's road inputs (USA, WEST) ship in the 9th DIMACS challenge
+// `.gr` (edges) / `.co` (coordinates) format. This loader lets the real
+// graphs be dropped into every bench via --graph path.gr [--coords
+// path.co]; the generators in generators.h are the offline fallback.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace smq {
+
+/// Parse a DIMACS .gr stream ("p sp V E" header, "a u v w" arcs,
+/// 1-indexed vertices). Throws std::runtime_error on malformed input.
+Graph read_dimacs_gr(std::istream& in);
+Graph load_dimacs_gr(const std::string& path);
+
+/// Parse a DIMACS .co stream ("v id x y") into coordinates for `graph`.
+void read_dimacs_co(std::istream& in, Graph& graph);
+void load_dimacs_co(const std::string& path, Graph& graph);
+
+/// Serialize to .gr (round-trip support, used by tests).
+void write_dimacs_gr(std::ostream& out, const Graph& graph);
+
+}  // namespace smq

@@ -1,0 +1,56 @@
+// Synthetic graph generators — stand-ins for the paper's Table 1 inputs.
+//
+// The container has no access to the USA/WEST road networks or the
+// TWITTER/WEB crawls, so we generate graphs with the structural
+// properties the evaluation depends on (DESIGN.md "Input graphs"):
+//
+//  * road_like(n): connected 2D lattice with random perturbations —
+//    large diameter, max degree ~8, Euclidean-correlated weights,
+//    per-vertex coordinates (required by A*). Models USA / WEST.
+//  * rmat(scale): recursive-matrix power-law graph, uniform random
+//    weights in [0, 255] exactly as the paper assigns to its social
+//    graphs. Models TWITTER / WEB.
+//  * erdos_renyi(n, m): uniform random multigraph, used by tests.
+//  * grid2d(w, h): exact lattice, used by tests (known shortest paths).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace smq {
+
+struct RoadLikeOptions {
+  std::uint64_t seed = 42;
+  // Fraction of extra "highway" shortcut edges relative to |V|.
+  double shortcut_fraction = 0.05;
+  // Weight = ceil(euclidean_distance * weight_scale) + jitter; keeping
+  // weights >= distance keeps the A* heuristic admissible.
+  double weight_scale = 100.0;
+};
+
+/// Road-network stand-in with coordinates; bidirectional edges.
+Graph make_road_like(VertexId num_vertices, RoadLikeOptions opts = {});
+
+struct RmatOptions {
+  std::uint64_t seed = 42;
+  unsigned edge_factor = 16;  // edges per vertex
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  Weight max_weight = 255;    // uniform weights in [0, max_weight]
+};
+
+/// Power-law (social/web-like) directed graph: 2^scale vertices.
+Graph make_rmat(unsigned scale, RmatOptions opts = {});
+
+/// Uniform random directed multigraph with m edges, weights in [1, 255].
+Graph make_erdos_renyi(VertexId num_vertices, std::size_t num_edges,
+                       std::uint64_t seed = 42);
+
+/// Exact width x height 4-neighbour lattice, unit or random weights.
+Graph make_grid2d(VertexId width, VertexId height, bool unit_weights = true,
+                  std::uint64_t seed = 42);
+
+/// A connected path graph (worst-case depth), used by tests.
+Graph make_path(VertexId num_vertices, Weight weight = 1);
+
+}  // namespace smq

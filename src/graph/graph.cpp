@@ -1,0 +1,37 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smq {
+
+Graph Graph::from_edges(VertexId num_vertices, std::vector<Edge> edges) {
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    assert(e.from < num_vertices && e.to < num_vertices);
+    ++g.offsets_[e.from + 1];
+  }
+  for (std::size_t v = 1; v <= num_vertices; ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  g.adjacency_.resize(edges.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[cursor[e.from]++] = Neighbor{e.to, e.weight};
+  }
+  return g;
+}
+
+std::vector<Edge> Graph::to_edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (const Neighbor& n : neighbors(v)) {
+      edges.push_back(Edge{v, n.to, n.weight});
+    }
+  }
+  return edges;
+}
+
+}  // namespace smq

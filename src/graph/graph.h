@@ -1,0 +1,77 @@
+// Compressed-sparse-row directed graph with integer edge weights.
+//
+// The workload substrate for every benchmark in the paper: SSSP, BFS, A*
+// and MST all run over this structure. Immutable after construction;
+// parallel algorithm state (distance arrays etc.) lives outside.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smq {
+
+using VertexId = std::uint32_t;
+using Weight = std::uint32_t;
+
+struct Edge {
+  VertexId from = 0;
+  VertexId to = 0;
+  Weight weight = 1;
+};
+
+/// Optional per-vertex planar coordinates (road graphs); consumed by A*.
+struct Coordinates {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  bool empty() const noexcept { return x.empty(); }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build CSR from an edge list. Self-loops are kept; duplicate edges
+  /// are kept (multigraphs are fine for all our algorithms).
+  static Graph from_edges(VertexId num_vertices, std::vector<Edge> edges);
+
+  VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  std::size_t num_edges() const noexcept { return adjacency_.size(); }
+
+  struct Neighbor {
+    VertexId to;
+    Weight weight;
+  };
+
+  /// Out-neighbours of v as a contiguous span.
+  std::span<const Neighbor> neighbors(VertexId v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t out_degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Flat edge list reconstruction (used by MST and tests).
+  std::vector<Edge> to_edges() const;
+
+  const Coordinates& coordinates() const noexcept { return coords_; }
+  void set_coordinates(Coordinates coords) { coords_ = std::move(coords); }
+
+  /// Human-readable description, printed by the Table 1 bench.
+  const std::string& description() const noexcept { return description_; }
+  void set_description(std::string text) { description_ = std::move(text); }
+
+ private:
+  std::vector<std::size_t> offsets_;   // size = V + 1
+  std::vector<Neighbor> adjacency_;    // size = E
+  Coordinates coords_;
+  std::string description_;
+};
+
+}  // namespace smq

@@ -1,0 +1,90 @@
+// The classic Multi-Queue (Rihani, Sanders, Dementiev; paper Listing 1).
+//
+// m = C * T sequential heaps, each guarded by a try-lock. insert(): lock
+// a uniformly random queue, add, unlock; restart on lock failure.
+// delete(): pick two distinct random queues, take the top of the one
+// whose top has higher priority; restart on lock failure. Serves as the
+// baseline of every speedup table in the paper, and supports the
+// NUMA-weighted sampling extension (Section 4) through QueueSampler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/numa_sampler.h"
+#include "queues/locked_queue_array.h"
+#include "sched/task.h"
+#include "support/padding.h"
+#include "support/rng.h"
+
+namespace smq {
+
+struct ClassicMqConfig {
+  unsigned queue_multiplier = 4;  // C: queues per thread
+  std::uint64_t seed = 1;
+  const Topology* topology = nullptr;  // nullptr => uniform sampling
+  double numa_weight_k = 1.0;
+};
+
+class ClassicMultiQueue {
+ public:
+  using Config = ClassicMqConfig;
+
+  ClassicMultiQueue(unsigned num_threads, Config cfg = {})
+      : num_threads_(num_threads),
+        queues_(static_cast<std::size_t>(num_threads) * cfg.queue_multiplier),
+        rngs_(num_threads),
+        sampler_(make_queue_sampler(queues_.size(), num_threads, cfg.topology,
+                                    cfg.numa_weight_k)),
+        scratch_(num_threads) {
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+      rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
+    }
+  }
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+  std::size_t num_queues() const noexcept { return queues_.size(); }
+  std::uint64_t approx_size() const noexcept { return queues_.approx_total(); }
+
+  void push(unsigned tid, Task task) {
+    Xoshiro256& rng = rngs_[tid].value;
+    while (!queues_.try_push(sampler_.sample(tid, rng), task)) {
+    }
+  }
+
+  std::optional<Task> try_pop(unsigned tid) {
+    Xoshiro256& rng = rngs_[tid].value;
+    scratch_[tid].value.clear();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t i1 = sampler_.sample(tid, rng);
+      std::size_t i2 = sampler_.sample(tid, rng);
+      while (i2 == i1) i2 = sampler_.sample(tid, rng);
+      const std::uint64_t p1 = queues_.top_priority(i1);
+      const std::uint64_t p2 = queues_.top_priority(i2);
+      if (p1 == Task::kInfinity && p2 == Task::kInfinity) {
+        if (queues_.all_empty()) return std::nullopt;
+        continue;
+      }
+      auto& out = scratch_[tid].value;
+      switch (queues_.try_pop_batch(p1 <= p2 ? i1 : i2, out, 1)) {
+        case LockedQueueArray::PopStatus::kOk:
+          return out.front();
+        case LockedQueueArray::PopStatus::kEmpty:
+        case LockedQueueArray::PopStatus::kLockBusy:
+          continue;
+      }
+    }
+    return queues_.pop_any(rngs_[tid].value.next_below(queues_.size()));
+  }
+
+ private:
+  unsigned num_threads_;
+  LockedQueueArray queues_;
+  std::vector<Padded<Xoshiro256>> rngs_;
+  QueueSampler sampler_;
+  // Per-thread scratch for pop batches; avoids an allocation per pop.
+  std::vector<Padded<std::vector<Task>>> scratch_;
+};
+
+}  // namespace smq

@@ -1,0 +1,277 @@
+// Lock-free skip list with marked-pointer deletion (Harris/Fraser style).
+//
+// Substrate for the SprayList baseline [6]. Nodes are logically deleted
+// by CAS-setting a mark bit in their level-0 next pointer; traversals
+// help unlink marked nodes. Keys are Tasks ordered by (priority, payload)
+// and duplicates are allowed (equal keys insert adjacently).
+//
+// Reclamation: nodes come from per-thread bump arenas owned by the list
+// and are freed wholesale on destruction. Unlinked nodes are never
+// recycled during a run, so no ABA and no hazard pointers are needed;
+// peak memory is proportional to total insertions (documented trade-off
+// for a benchmark substrate; DESIGN.md "SprayList").
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sched/task.h"
+#include "support/padding.h"
+#include "support/rng.h"
+
+namespace smq {
+
+class LockFreeSkipList {
+ public:
+  static constexpr int kMaxLevel = 20;
+
+  struct Node {
+    Task task;
+    int height;
+    std::array<std::atomic<Node*>, kMaxLevel> next;
+  };
+
+  explicit LockFreeSkipList(unsigned num_threads)
+      : arenas_(num_threads == 0 ? 1 : num_threads) {
+    head_ = allocate(0, Task{0, 0}, kMaxLevel);
+    for (int level = 0; level < kMaxLevel; ++level) {
+      head_->next[static_cast<std::size_t>(level)].store(
+          nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  LockFreeSkipList(const LockFreeSkipList&) = delete;
+  LockFreeSkipList& operator=(const LockFreeSkipList&) = delete;
+  ~LockFreeSkipList() = default;  // arenas free all nodes
+
+  /// Insert a task. Duplicates allowed. Height drawn from tid's RNG.
+  void insert(unsigned tid, Task task, Xoshiro256& rng) {
+    const int height = random_height(rng);
+    Node* fresh = allocate(tid, task, height);
+
+    while (true) {
+      Node* preds[kMaxLevel];
+      Node* succs[kMaxLevel];
+      find(task, preds, succs);
+      fresh->next[0].store(succs[0], std::memory_order_relaxed);
+      if (!preds[0]->next[0].compare_exchange_strong(
+              succs[0], fresh, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        continue;  // level-0 CAS lost; retry from scratch
+      }
+      for (int level = 1; level < height; ++level) {
+        while (true) {
+          fresh->next[static_cast<std::size_t>(level)].store(
+              succs[level], std::memory_order_relaxed);
+          if (preds[level]
+                  ->next[static_cast<std::size_t>(level)]
+                  .compare_exchange_strong(succs[level], fresh,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            break;
+          }
+          // Upper-level link lost a race: recompute neighbours. If the
+          // node got deleted meanwhile, stop linking upper levels.
+          if (is_marked(fresh->next[0].load(std::memory_order_acquire))) {
+            return;
+          }
+          find(task, preds, succs);
+        }
+      }
+      return;
+    }
+  }
+
+  /// Exact delete-min: mark and return the first live node's task.
+  std::optional<Task> pop_min() {
+    while (true) {
+      Node* node = strip(head_->next[0].load(std::memory_order_acquire));
+      while (node != nullptr &&
+             is_marked(node->next[0].load(std::memory_order_acquire))) {
+        node = strip(node->next[0].load(std::memory_order_acquire));
+      }
+      if (node == nullptr) return std::nullopt;
+      if (try_mark(node)) {
+        unlink(node->task);
+        return node->task;
+      }
+    }
+  }
+
+  /// Claim one specific node starting from `start` at level 0: walk
+  /// forward over marked nodes and try to mark the first live one, for at
+  /// most `attempts` candidates. Used by the spray.
+  std::optional<Task> pop_from(Node* start, int attempts) {
+    Node* node = start;
+    while (node != nullptr && attempts-- > 0) {
+      Node* next = node->next[0].load(std::memory_order_acquire);
+      if (!is_marked(next) && try_mark(node)) {
+        unlink(node->task);
+        return node->task;
+      }
+      node = strip(node->next[0].load(std::memory_order_acquire));
+    }
+    return std::nullopt;
+  }
+
+  bool empty() const noexcept {
+    Node* node = strip(head_->next[0].load(std::memory_order_acquire));
+    while (node != nullptr &&
+           is_marked(node->next[0].load(std::memory_order_acquire))) {
+      node = strip(node->next[0].load(std::memory_order_acquire));
+    }
+    return node == nullptr;
+  }
+
+  /// Live-node count — O(n), test/debug only.
+  std::size_t count_live() const {
+    std::size_t count = 0;
+    for (Node* node = strip(head_->next[0].load(std::memory_order_acquire));
+         node != nullptr;
+         node = strip(node->next[0].load(std::memory_order_acquire))) {
+      if (!is_marked(node->next[0].load(std::memory_order_acquire))) ++count;
+    }
+    return count;
+  }
+
+  Node* head() const noexcept { return head_; }
+
+  /// Spray walk (SprayList [6]): descend from `start_level`, jumping a
+  /// uniformly random number of nodes in [0, max_jump] per level, landing
+  /// on a node in a prefix of size roughly O(T log^3 T).
+  Node* spray(int start_level, int max_jump, Xoshiro256& rng) const {
+    Node* node = head_;
+    for (int level = std::min(start_level, kMaxLevel - 1); level >= 0;
+         --level) {
+      std::uint64_t jump = rng.next_below(static_cast<std::uint64_t>(max_jump) + 1);
+      while (jump > 0) {
+        Node* next =
+            strip(node->next[static_cast<std::size_t>(level)].load(
+                std::memory_order_acquire));
+        if (next == nullptr) break;
+        node = next;
+        --jump;
+      }
+    }
+    return node == head_
+               ? strip(head_->next[0].load(std::memory_order_acquire))
+               : node;
+  }
+
+ private:
+  static Node* strip(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) & ~1ull);
+  }
+  static bool is_marked(Node* p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1ull) != 0;
+  }
+  static Node* marked(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) | 1ull);
+  }
+
+  /// Logically delete `node` by marking its level-0 next pointer, then
+  /// marking upper levels (best effort).
+  bool try_mark(Node* node) noexcept {
+    Node* next = node->next[0].load(std::memory_order_acquire);
+    while (!is_marked(next)) {
+      if (node->next[0].compare_exchange_weak(next, marked(next),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        for (int level = 1; level < node->height; ++level) {
+          Node* up = node->next[static_cast<std::size_t>(level)].load(
+              std::memory_order_acquire);
+          while (!is_marked(up) &&
+                 !node->next[static_cast<std::size_t>(level)]
+                      .compare_exchange_weak(up, marked(up),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+          }
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Search for `task`, returning preds/succs per level; physically
+  /// unlinks marked nodes encountered on the way (Harris helping).
+  void find(const Task& task, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = strip(
+          pred->next[static_cast<std::size_t>(level)].load(
+              std::memory_order_acquire));
+      while (true) {
+        if (curr == nullptr) break;
+        Node* succ =
+            curr->next[static_cast<std::size_t>(level)].load(
+                std::memory_order_acquire);
+        if (is_marked(succ)) {
+          // Help unlink curr at this level.
+          Node* expected = curr;
+          if (!pred->next[static_cast<std::size_t>(level)]
+                   .compare_exchange_strong(expected, strip(succ),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+            goto retry;
+          }
+          curr = strip(succ);
+          continue;
+        }
+        if (!(curr->task < task)) break;
+        pred = curr;
+        curr = strip(succ);
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+  }
+
+  /// Physically unlink a marked node (by key) via a full find().
+  void unlink(const Task& task) {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find(task, preds, succs);
+  }
+
+  int random_height(Xoshiro256& rng) noexcept {
+    const std::uint64_t bits = rng();
+    int height = 1;
+    while (height < kMaxLevel && ((bits >> height) & 1u) != 0) ++height;
+    return height;
+  }
+
+  Node* allocate(unsigned tid, Task task, int height) {
+    Arena& arena = arenas_[tid].value;
+    if (arena.used >= arena.block_size || arena.blocks.empty()) {
+      arena.blocks.push_back(std::make_unique<Node[]>(arena.block_size));
+      arena.used = 0;
+    }
+    Node* node = &arena.blocks.back()[arena.used++];
+    node->task = task;
+    node->height = height;
+    for (auto& next : node->next) {
+      next.store(nullptr, std::memory_order_relaxed);
+    }
+    return node;
+  }
+
+  struct Arena {
+    static constexpr std::size_t kDefaultBlock = 4096;
+    std::size_t block_size = kDefaultBlock;
+    std::size_t used = 0;
+    std::vector<std::unique_ptr<Node[]>> blocks;
+  };
+
+  Node* head_;
+  std::vector<Padded<Arena>> arenas_;
+};
+
+}  // namespace smq

@@ -1,0 +1,180 @@
+// Optimized classic Multi-Queue variants (paper Section 2.1, Appendix C).
+//
+// Two independent optimizations, each applicable to insert() and to
+// delete(), giving the four combinations the appendix ablates:
+//
+//  * Task batching (Optimization 1): inserts are buffered thread-locally
+//    and flushed to one random queue with a single lock acquisition once
+//    BATCH_insert tasks accumulate; deletes retrieve BATCH_delete tasks
+//    from the chosen queue at once into a thread-local buffer.
+//  * Temporal locality (Optimization 2): before each operation the thread
+//    flips a coin with probability p_change of re-sampling a queue, and
+//    otherwise keeps using the queue of its previous operation.
+//
+// The paper's sweeps use p in {1/1, 1/2, ..., 1/1024} (p = 1 reproduces
+// the classic behaviour) and batch sizes in {1, 2, ..., 1024}.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/numa_sampler.h"
+#include "queues/locked_queue_array.h"
+#include "sched/task.h"
+#include "support/padding.h"
+#include "support/rng.h"
+
+namespace smq {
+
+enum class InsertPolicy { kTemporalLocality, kBatching };
+enum class DeletePolicy { kTemporalLocality, kBatching };
+
+struct OptimizedMqConfig {
+  unsigned queue_multiplier = 4;
+  InsertPolicy insert_policy = InsertPolicy::kTemporalLocality;
+  DeletePolicy delete_policy = DeletePolicy::kTemporalLocality;
+  // Temporal locality: probability of changing queues before an op.
+  double p_insert_change = 1.0;
+  double p_delete_change = 1.0;
+  // Batching: local buffer capacities.
+  std::size_t insert_batch = 1;
+  std::size_t delete_batch = 1;
+  std::uint64_t seed = 1;
+  const Topology* topology = nullptr;
+  double numa_weight_k = 1.0;
+};
+
+class OptimizedMultiQueue {
+ public:
+  using Config = OptimizedMqConfig;
+
+  OptimizedMultiQueue(unsigned num_threads, Config cfg)
+      : cfg_(cfg),
+        num_threads_(num_threads),
+        queues_(static_cast<std::size_t>(num_threads) * cfg.queue_multiplier),
+        locals_(num_threads),
+        sampler_(make_queue_sampler(queues_.size(), num_threads, cfg.topology,
+                                    cfg.numa_weight_k)) {
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+      locals_[tid].value.rng = Xoshiro256(thread_seed(cfg.seed, tid));
+    }
+  }
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+  std::size_t num_queues() const noexcept { return queues_.size(); }
+
+  void push(unsigned tid, Task task) {
+    Local& local = locals_[tid].value;
+    if (cfg_.insert_policy == InsertPolicy::kBatching) {
+      local.insert_buffer.push_back(task);
+      if (local.insert_buffer.size() >= cfg_.insert_batch) flush_inserts(local, tid);
+      return;
+    }
+    // Temporal locality: maybe keep the previous insert queue.
+    while (true) {
+      if (local.insert_queue == kNone ||
+          local.rng.next_bool(cfg_.p_insert_change)) {
+        local.insert_queue = sampler_.sample(tid, local.rng);
+      }
+      if (queues_.try_push(local.insert_queue, task)) return;
+      local.insert_queue = kNone;  // contended: re-sample next round
+    }
+  }
+
+  std::optional<Task> try_pop(unsigned tid) {
+    Local& local = locals_[tid].value;
+    if (!local.delete_buffer.empty()) {
+      Task t = local.delete_buffer.front();
+      local.delete_buffer.pop_front();
+      return t;
+    }
+    const std::size_t want =
+        cfg_.delete_policy == DeletePolicy::kBatching ? cfg_.delete_batch : 1;
+
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t target = choose_delete_queue(local, tid);
+      if (target == kNone) {
+        if (queues_.all_empty()) return drain(local, tid);
+        continue;
+      }
+      local.scratch.clear();
+      switch (queues_.try_pop_batch(target, local.scratch, want)) {
+        case LockedQueueArray::PopStatus::kOk: {
+          Task first = local.scratch.front();
+          local.delete_buffer.assign(local.scratch.begin() + 1,
+                                     local.scratch.end());
+          return first;
+        }
+        case LockedQueueArray::PopStatus::kEmpty:
+          local.delete_queue = kNone;
+          continue;
+        case LockedQueueArray::PopStatus::kLockBusy:
+          local.delete_queue = kNone;
+          continue;
+      }
+    }
+    return drain(local, tid);
+  }
+
+  /// Publish buffered inserts; the executor calls this before trusting an
+  /// empty pop (termination), and benches call it at the end of a phase.
+  void flush(unsigned tid) {
+    Local& local = locals_[tid].value;
+    if (!local.insert_buffer.empty()) flush_inserts(local, tid);
+  }
+
+  std::uint64_t approx_size() const noexcept { return queues_.approx_total(); }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Local {
+    Xoshiro256 rng;
+    std::vector<Task> insert_buffer;
+    std::deque<Task> delete_buffer;
+    std::vector<Task> scratch;
+    std::size_t insert_queue = kNone;  // temporal-locality memory
+    std::size_t delete_queue = kNone;
+  };
+
+  void flush_inserts(Local& local, unsigned tid) {
+    while (!queues_.try_push_batch(sampler_.sample(tid, local.rng),
+                                   local.insert_buffer.data(),
+                                   local.insert_buffer.size())) {
+    }
+    local.insert_buffer.clear();
+  }
+
+  /// Pick the queue to delete from, honouring the delete policy. Returns
+  /// kNone when both sampled queues look empty.
+  std::size_t choose_delete_queue(Local& local, unsigned tid) {
+    if (cfg_.delete_policy == DeletePolicy::kTemporalLocality &&
+        local.delete_queue != kNone &&
+        !local.rng.next_bool(cfg_.p_delete_change)) {
+      return local.delete_queue;  // stick with the previous queue
+    }
+    const std::size_t i1 = sampler_.sample(tid, local.rng);
+    std::size_t i2 = sampler_.sample(tid, local.rng);
+    while (i2 == i1) i2 = sampler_.sample(tid, local.rng);
+    const std::uint64_t p1 = queues_.top_priority(i1);
+    const std::uint64_t p2 = queues_.top_priority(i2);
+    if (p1 == Task::kInfinity && p2 == Task::kInfinity) return kNone;
+    local.delete_queue = p1 <= p2 ? i1 : i2;
+    return local.delete_queue;
+  }
+
+  std::optional<Task> drain(Local& local, unsigned tid) {
+    (void)tid;
+    return queues_.pop_any(local.rng.next_below(queues_.size()));
+  }
+
+  Config cfg_;
+  unsigned num_threads_;
+  LockedQueueArray queues_;
+  std::vector<Padded<Local>> locals_;
+  QueueSampler sampler_;
+};
+
+}  // namespace smq

@@ -1,0 +1,75 @@
+// RELD — Random Enqueue, Local Dequeue (Jeffrey et al., MICRO'15 [14]).
+//
+// Inserts go to a uniformly random queue; deletes come from the thread's
+// own queue, falling back to scanning other queues only when the local
+// one is empty. The cheapest communication-avoiding Multi-Queue relative;
+// it has no rank guarantees (a thread may sit on arbitrarily stale
+// priorities) and the paper uses it as a lower anchor in Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "queues/locked_queue_array.h"
+#include "sched/task.h"
+#include "support/padding.h"
+#include "support/rng.h"
+
+namespace smq {
+
+struct ReldConfig {
+  unsigned queue_multiplier = 1;  // one queue per thread by default
+  std::uint64_t seed = 1;
+};
+
+class ReldQueue {
+ public:
+  using Config = ReldConfig;
+
+  ReldQueue(unsigned num_threads, Config cfg = {})
+      : num_threads_(num_threads),
+        queues_per_thread_(cfg.queue_multiplier == 0 ? 1 : cfg.queue_multiplier),
+        queues_(static_cast<std::size_t>(num_threads) * queues_per_thread_),
+        rngs_(num_threads),
+        scratch_(num_threads) {
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+      rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
+    }
+  }
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+  std::size_t num_queues() const noexcept { return queues_.size(); }
+
+  void push(unsigned tid, Task task) {
+    Xoshiro256& rng = rngs_[tid].value;
+    while (!queues_.try_push(rng.next_below(queues_.size()), task)) {
+    }
+  }
+
+  std::optional<Task> try_pop(unsigned tid) {
+    auto& out = scratch_[tid].value;
+    out.clear();
+    // Local first: round-robin over the thread's own queues.
+    for (unsigned k = 0; k < queues_per_thread_; ++k) {
+      const std::size_t i =
+          static_cast<std::size_t>(tid) * queues_per_thread_ + k;
+      if (queues_.try_pop_batch(i, out, 1) == LockedQueueArray::PopStatus::kOk) {
+        return out.front();
+      }
+    }
+    // Local queues empty: scan the rest (work-conserving fallback).
+    return queues_.pop_any(rngs_[tid].value.next_below(queues_.size()));
+  }
+
+  std::uint64_t approx_size() const noexcept { return queues_.approx_total(); }
+
+ private:
+  unsigned num_threads_;
+  unsigned queues_per_thread_;
+  LockedQueueArray queues_;
+  std::vector<Padded<Xoshiro256>> rngs_;
+  std::vector<Padded<std::vector<Task>>> scratch_;
+};
+
+}  // namespace smq

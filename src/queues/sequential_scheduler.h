@@ -1,0 +1,35 @@
+// Exact sequential priority scheduler — the single-threaded baseline all
+// speedups in the paper are measured against, and the source of the
+// reference task counts used by the "work increase" metric (an exact
+// priority order never processes a reachable SSSP vertex more than the
+// label-correcting minimum).
+#pragma once
+
+#include <cassert>
+#include <optional>
+
+#include "queues/d_ary_heap.h"
+#include "sched/task.h"
+
+namespace smq {
+
+class SequentialScheduler {
+ public:
+  explicit SequentialScheduler(unsigned num_threads = 1) {
+    assert(num_threads == 1 && "SequentialScheduler is single-threaded");
+    (void)num_threads;
+  }
+
+  unsigned num_threads() const noexcept { return 1; }
+
+  void push(unsigned /*tid*/, Task task) { heap_.push(task); }
+
+  std::optional<Task> try_pop(unsigned /*tid*/) { return heap_.try_pop(); }
+
+  std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  DAryHeap<Task, 4> heap_;
+};
+
+}  // namespace smq

@@ -1,0 +1,131 @@
+// Sequential skip list ordered by Task (priority, payload).
+//
+// Appendix D of the paper evaluates the SMQ with local skip lists instead
+// of d-ary heaps; this is that local-queue substrate. Single-owner, no
+// synchronization. pop() removes the smallest element in O(level);
+// push() is the classic O(log n) tower insert with geometric heights.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "sched/task.h"
+#include "support/rng.h"
+
+namespace smq {
+
+class SequentialSkipList {
+ public:
+  static constexpr int kMaxLevel = 24;
+
+  explicit SequentialSkipList(std::uint64_t seed = 0xDEADBEEF)
+      : rng_(seed), head_(new Node(Task{0, 0}, kMaxLevel)) {
+    head_->next.fill(nullptr);
+  }
+
+  ~SequentialSkipList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next[0];
+      delete node;
+      node = next;
+    }
+  }
+
+  SequentialSkipList(const SequentialSkipList&) = delete;
+  SequentialSkipList& operator=(const SequentialSkipList&) = delete;
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  const Task& top() const noexcept {
+    assert(!empty());
+    return head_->next[0]->task;
+  }
+
+  void push(const Task& task) {
+    std::array<Node*, kMaxLevel> preds;
+    Node* node = head_;
+    for (int level = level_ - 1; level >= 0; --level) {
+      while (node->next[level] != nullptr && node->next[level]->task < task) {
+        node = node->next[level];
+      }
+      preds[static_cast<std::size_t>(level)] = node;
+    }
+    const int height = random_height();
+    for (int level = level_; level < height; ++level) {
+      preds[static_cast<std::size_t>(level)] = head_;
+    }
+    if (height > level_) level_ = height;
+
+    Node* fresh = new Node(task, height);
+    for (int level = 0; level < height; ++level) {
+      fresh->next[static_cast<std::size_t>(level)] =
+          preds[static_cast<std::size_t>(level)]
+              ->next[static_cast<std::size_t>(level)];
+      preds[static_cast<std::size_t>(level)]
+          ->next[static_cast<std::size_t>(level)] = fresh;
+    }
+    ++size_;
+  }
+
+  Task pop() {
+    assert(!empty());
+    Node* first = head_->next[0];
+    for (int level = 0; level < first->height; ++level) {
+      head_->next[static_cast<std::size_t>(level)] =
+          first->next[static_cast<std::size_t>(level)];
+    }
+    Task result = first->task;
+    delete first;
+    --size_;
+    while (level_ > 1 && head_->next[static_cast<std::size_t>(level_ - 1)] ==
+                             nullptr) {
+      --level_;
+    }
+    return result;
+  }
+
+  std::optional<Task> try_pop() {
+    if (empty()) return std::nullopt;
+    return pop();
+  }
+
+  /// Invariant check for tests: level-0 chain strictly ascending, towers
+  /// are sub-chains of level 0.
+  bool is_valid() const {
+    for (const Node* n = head_->next[0]; n != nullptr && n->next[0] != nullptr;
+         n = n->next[0]) {
+      if (!(n->task < n->next[0]->task)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Node {
+    Task task;
+    int height;
+    // Flexible tower: allocate exactly `height` pointers.
+    std::array<Node*, kMaxLevel> next;
+
+    Node(Task t, int h) : task(t), height(h) { next.fill(nullptr); }
+  };
+
+  int random_height() {
+    // Geometric with p = 1/2, capped.
+    const std::uint64_t bits = rng_();
+    int height = 1;
+    while (height < kMaxLevel && (bits >> height & 1u) != 0) ++height;
+    return height;
+  }
+
+  Xoshiro256 rng_;
+  Node* head_;
+  int level_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace smq

@@ -1,0 +1,81 @@
+// SprayList (Alistarh, Kopinsky, Li, Shavit; PPoPP'15 [6]).
+//
+// A relaxed priority queue over a lock-free skip list: delete-min is
+// replaced by a "spray" — a randomized descending walk that lands
+// uniformly-ish inside the first O(T log^3 T) elements, so concurrent
+// deleters collide rarely. One of the advanced-scheduler baselines in
+// Figure 2 of the paper.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "queues/lockfree_skiplist.h"
+#include "sched/task.h"
+#include "support/padding.h"
+#include "support/rng.h"
+
+namespace smq {
+
+struct SprayConfig {
+  std::uint64_t seed = 1;
+  // Spray shape knobs; defaults follow the SprayList paper's
+  // H = log T + K and uniform jumps of length O(log T).
+  int height_offset = 1;
+  int jump_scale = 1;
+};
+
+class SprayList {
+ public:
+  using Config = SprayConfig;
+
+  SprayList(unsigned num_threads, Config cfg = {})
+      : num_threads_(num_threads == 0 ? 1 : num_threads),
+        list_(num_threads_),
+        rngs_(num_threads_) {
+    for (unsigned tid = 0; tid < num_threads_; ++tid) {
+      rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
+    }
+    const int log_t = num_threads_ <= 1
+                          ? 0
+                          : static_cast<int>(std::ceil(std::log2(num_threads_)));
+    spray_height_ = log_t + cfg.height_offset;
+    max_jump_ = (log_t + 1) * cfg.jump_scale;
+  }
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+
+  void push(unsigned tid, Task task) {
+    list_.insert(tid, task, rngs_[tid].value);
+  }
+
+  std::optional<Task> try_pop(unsigned tid) {
+    Xoshiro256& rng = rngs_[tid].value;
+    if (num_threads_ == 1) return list_.pop_min();
+    // A few spray attempts, then fall back to exact delete-min so the
+    // drain phase terminates (the original does the same via "become a
+    // cleaner" mode).
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      LockFreeSkipList::Node* node =
+          list_.spray(spray_height_, max_jump_, rng);
+      if (node == nullptr) break;
+      if (std::optional<Task> task = list_.pop_from(node, max_jump_ + 1)) {
+        return task;
+      }
+    }
+    return list_.pop_min();
+  }
+
+  bool empty() const noexcept { return list_.empty(); }
+
+ private:
+  unsigned num_threads_;
+  LockFreeSkipList list_;
+  std::vector<Padded<Xoshiro256>> rngs_;
+  int spray_height_ = 1;
+  int max_jump_ = 1;
+};
+
+}  // namespace smq

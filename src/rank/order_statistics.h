@@ -1,0 +1,53 @@
+// Fenwick (binary indexed) tree over a fixed integer universe, used by
+// the rank simulator to compute, in O(log T), the rank of a deleted
+// element among all elements still present across every queue — the
+// quantity Theorem 1 bounds.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace smq {
+
+class OrderStatistics {
+ public:
+  /// Universe = integers [0, capacity); all initially absent.
+  explicit OrderStatistics(std::size_t capacity)
+      : tree_(capacity + 1, 0), live_(0) {}
+
+  std::size_t size() const noexcept { return live_; }
+
+  void insert(std::size_t value) {
+    update(value, +1);
+    ++live_;
+  }
+
+  void erase(std::size_t value) {
+    assert(live_ > 0);
+    update(value, -1);
+    --live_;
+  }
+
+  /// Number of live elements strictly smaller than `value` — i.e. the
+  /// 0-based rank `value` would have among the live set.
+  std::size_t rank_of(std::size_t value) const noexcept {
+    std::int64_t sum = 0;
+    for (std::size_t i = value; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return static_cast<std::size_t>(sum);
+  }
+
+ private:
+  void update(std::size_t value, std::int64_t delta) {
+    for (std::size_t i = value + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  std::vector<std::int64_t> tree_;
+  std::size_t live_;
+};
+
+}  // namespace smq

@@ -1,0 +1,137 @@
+#include "rank/rank_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rank/order_statistics.h"
+#include "support/rng.h"
+
+namespace smq {
+
+namespace {
+
+/// One simulated queue: a sorted slice of element ids with a cursor.
+/// Elements were inserted in increasing rank order, so each queue's
+/// pending elements are exactly its vector suffix from `next`.
+struct SimQueue {
+  std::vector<std::size_t> elements;
+  std::size_t next = 0;
+
+  bool empty() const noexcept { return next >= elements.size(); }
+  std::size_t top() const noexcept { return elements[next]; }
+  std::size_t pop() noexcept { return elements[next++]; }
+};
+
+/// Scheduling distribution with bounded skew: thread weights alternate
+/// between (1 - gamma) and (1 + gamma), normalized; gamma = 0 is uniform.
+/// Sampling via inverse CDF over the cumulative weights (n is small).
+class SkewedScheduler {
+ public:
+  SkewedScheduler(unsigned n, double gamma) : cumulative_(n) {
+    double total = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      total += (i % 2 == 0) ? (1.0 + gamma) : (1.0 - gamma);
+      cumulative_[i] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+
+  unsigned sample(Xoshiro256& rng) const noexcept {
+    const double u = rng.next_double();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+    return static_cast<unsigned>(
+        idx < cumulative_.size() ? idx : cumulative_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+RankSimResult simulate_rank(const RankSimConfig& cfg) {
+  const unsigned n = std::max(2u, cfg.num_queues);
+  const unsigned m =
+      cfg.process == RankProcess::kClassicMq ? n * std::max(1u, cfg.classic_c) : n;
+  Xoshiro256 rng(cfg.seed);
+
+  // Insertion phase: elements 0..T-1 (already in rank order) go to
+  // uniformly random queues; each queue's list is therefore sorted.
+  std::vector<SimQueue> queues(m);
+  OrderStatistics live(cfg.num_elements);
+  for (std::size_t e = 0; e < cfg.num_elements; ++e) {
+    queues[rng.next_below(m)].elements.push_back(e);
+    live.insert(e);
+  }
+
+  SkewedScheduler scheduler(m, cfg.gamma);
+
+  RankSimResult result;
+  double rank_sum = 0;
+  double tail_sum = 0;
+  std::uint64_t tail_count = 0;
+  const std::uint64_t target_deletions = static_cast<std::uint64_t>(
+      cfg.drain_fraction * static_cast<double>(cfg.num_elements));
+
+  auto delete_batch = [&](SimQueue& q) {
+    for (unsigned b = 0; b < std::max(1u, cfg.batch_size) && !q.empty(); ++b) {
+      const std::size_t e = q.pop();
+      const std::uint64_t rank = live.rank_of(e);
+      live.erase(e);
+      rank_sum += static_cast<double>(rank);
+      result.max_rank = std::max(result.max_rank, rank);
+      ++result.deletions;
+      if (result.deletions * 2 >= target_deletions) {
+        tail_sum += static_cast<double>(rank);
+        ++tail_count;
+      }
+    }
+  };
+
+  while (result.deletions < target_deletions) {
+    if (cfg.process == RankProcess::kClassicMq) {
+      // Two distinct uniform choices; remove from the better top.
+      std::size_t i = rng.next_below(m);
+      std::size_t j = rng.next_below(m);
+      while (j == i) j = rng.next_below(m);
+      SimQueue* qi = &queues[i];
+      SimQueue* qj = &queues[j];
+      if (qi->empty() && qj->empty()) continue;
+      if (qi->empty() || (!qj->empty() && qj->top() < qi->top())) {
+        std::swap(qi, qj);
+      }
+      delete_batch(*qi);
+      continue;
+    }
+    // SMQ process: schedule a thread by pi, then maybe steal.
+    const unsigned t = scheduler.sample(rng);
+    SimQueue& local = queues[t];
+    if (rng.next_bool(cfg.p_steal)) {
+      const std::size_t v = rng.next_below(m);
+      SimQueue& victim = queues[v];
+      const bool victim_better =
+          !victim.empty() && (local.empty() || victim.top() < local.top());
+      if (victim_better) {
+        delete_batch(victim);
+        continue;
+      }
+    }
+    if (!local.empty()) {
+      delete_batch(local);
+    } else {
+      // Forced steal on empty local queue (work conservation).
+      const std::size_t v = rng.next_below(m);
+      if (!queues[v].empty()) delete_batch(queues[v]);
+    }
+  }
+
+  result.mean_rank =
+      result.deletions == 0 ? 0 : rank_sum / static_cast<double>(result.deletions);
+  result.mean_rank_tail =
+      tail_count == 0 ? 0 : tail_sum / static_cast<double>(tail_count);
+  return result;
+}
+
+}  // namespace smq

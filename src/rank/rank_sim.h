@@ -1,0 +1,50 @@
+// Discrete simulator of the analytical processes of paper Section 3.
+//
+// Implements exactly the model of Theorem 1: T elements are inserted up
+// front in increasing rank order into n queues chosen uniformly at
+// random; then deletions proceed under a stochastic scheduler with
+// distribution pi (skew bounded by gamma). Each deletion's *rank* — the
+// position of the removed element among all elements still present — is
+// measured exactly with a Fenwick tree. This validates the paper's core
+// theoretical claims:
+//   * classic MQ (2-choice over m = c*n queues): expected rank O(m);
+//   * SMQ(p_steal, B, gamma): expected average rank
+//     O(nB(1+gamma)/p_steal * log((1+gamma)/p_steal)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smq {
+
+enum class RankProcess {
+  kClassicMq,  // two uniform choices over m = c * n queues
+  kSmq,        // local delete + probabilistic two-choice steal
+};
+
+struct RankSimConfig {
+  RankProcess process = RankProcess::kSmq;
+  unsigned num_queues = 8;       // n (threads; classic uses m = c * n)
+  unsigned classic_c = 1;        // queue multiplier for kClassicMq
+  std::size_t num_elements = 1 << 16;  // T initial insertions
+  double p_steal = 0.125;        // SMQ stealing probability
+  unsigned batch_size = 1;       // B: elements removed per delete
+  double gamma = 0.0;            // scheduler skew (0 = uniform)
+  std::uint64_t seed = 1;
+  // Stop after this fraction of elements has been removed (rank statistics
+  // near total drain are dominated by emptiness, as in the paper's model
+  // which assumes queues never empty).
+  double drain_fraction = 0.75;
+};
+
+struct RankSimResult {
+  double mean_rank = 0;       // expected rank estimate over all deletions
+  std::uint64_t max_rank = 0; // maximum observed rank
+  std::uint64_t deletions = 0;
+  double mean_rank_tail = 0;  // mean over the second half (steady state)
+};
+
+/// Run the simulation; deterministic given cfg.seed.
+RankSimResult simulate_rank(const RankSimConfig& cfg);
+
+}  // namespace smq

@@ -1,0 +1,33 @@
+// The scheduler concept every priority scheduler in this library models.
+//
+// Mirrors Galois' WorkList interface: per-thread push/pop with an
+// optional flush for schedulers that buffer inserts locally (the
+// executor must flush before trusting an empty pop for termination).
+#pragma once
+
+#include <concepts>
+#include <optional>
+
+#include "sched/task.h"
+
+namespace smq {
+
+template <typename S>
+concept PriorityScheduler = requires(S s, unsigned tid, Task t) {
+  { s.push(tid, t) } -> std::same_as<void>;
+  { s.try_pop(tid) } -> std::same_as<std::optional<Task>>;
+  { s.num_threads() } -> std::convertible_to<unsigned>;
+};
+
+template <typename S>
+concept FlushableScheduler = PriorityScheduler<S> && requires(S s, unsigned tid) {
+  { s.flush(tid) } -> std::same_as<void>;
+};
+
+/// Flush local insert buffers if the scheduler has any.
+template <PriorityScheduler S>
+void flush_if_supported(S& sched, unsigned tid) {
+  if constexpr (FlushableScheduler<S>) sched.flush(tid);
+}
+
+}  // namespace smq

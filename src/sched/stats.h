@@ -1,0 +1,71 @@
+// Per-thread execution statistics.
+//
+// The paper's evaluation reports *total work* (tasks executed) next to
+// wall time, because wasted work is the mechanism through which rank
+// quality shows up as end-to-end performance. Counters are per-thread and
+// cache-line padded; aggregation happens once, after the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/padding.h"
+
+namespace smq {
+
+struct ThreadStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;        // successful pops == tasks executed
+  std::uint64_t empty_pops = 0;  // pop attempts that found nothing
+  std::uint64_t wasted = 0;      // stale tasks (algorithm-defined)
+  std::uint64_t steals = 0;      // successful steal batches (SMQ / OBIM)
+  std::uint64_t steal_fails = 0;
+  std::uint64_t remote_accesses = 0;  // out-of-NUMA-node queue touches
+
+  ThreadStats& operator+=(const ThreadStats& o) noexcept {
+    pushes += o.pushes;
+    pops += o.pops;
+    empty_pops += o.empty_pops;
+    wasted += o.wasted;
+    steals += o.steals;
+    steal_fails += o.steal_fails;
+    remote_accesses += o.remote_accesses;
+    return *this;
+  }
+};
+
+/// One padded slot per thread; index by thread id.
+class StatsRegistry {
+ public:
+  explicit StatsRegistry(unsigned num_threads) : slots_(num_threads) {}
+
+  ThreadStats& of(unsigned tid) noexcept { return slots_[tid].value; }
+  const ThreadStats& of(unsigned tid) const noexcept { return slots_[tid].value; }
+
+  unsigned size() const noexcept { return static_cast<unsigned>(slots_.size()); }
+
+  ThreadStats total() const noexcept {
+    ThreadStats sum;
+    for (const auto& slot : slots_) sum += slot.value;
+    return sum;
+  }
+
+ private:
+  std::vector<Padded<ThreadStats>> slots_;
+};
+
+/// Result of one parallel run: wall time plus aggregated counters.
+struct RunResult {
+  double seconds = 0;
+  ThreadStats stats;
+
+  /// Paper metric: executed tasks / reference task count.
+  double work_increase(std::uint64_t reference_tasks) const noexcept {
+    return reference_tasks == 0
+               ? 0.0
+               : static_cast<double>(stats.pops) /
+                     static_cast<double>(reference_tasks);
+  }
+};
+
+}  // namespace smq

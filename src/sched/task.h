@@ -1,0 +1,36 @@
+// The task type flowing through every scheduler in this library.
+//
+// All schedulers in the paper order *fixed-width integer priorities*
+// (Galois' "ordered by integer metric"); payloads identify the work item
+// (e.g. a graph vertex). Keeping the task at 16 trivially copyable bytes
+// lets the stealing buffer publish tasks through relaxed atomics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace smq {
+
+struct Task {
+  std::uint64_t priority = kInfinity;  // smaller = more urgent
+  std::uint64_t payload = 0;
+
+  static constexpr std::uint64_t kInfinity =
+      std::numeric_limits<std::uint64_t>::max();
+
+  friend constexpr auto operator<=>(const Task& a, const Task& b) noexcept {
+    // Priority first; payload as a tiebreaker gives a strict total order,
+    // which the skip-list based queues need for unique keys.
+    if (auto cmp = a.priority <=> b.priority; cmp != 0) return cmp;
+    return a.payload <=> b.payload;
+  }
+  friend constexpr bool operator==(const Task&, const Task&) noexcept = default;
+};
+
+static_assert(sizeof(Task) == 16);
+
+/// A sentinel no-task value (priority == infinity).
+inline constexpr Task kNoTask{};
+
+}  // namespace smq

@@ -1,0 +1,33 @@
+#include "sched/topology.h"
+
+namespace smq {
+
+Topology::Topology(unsigned num_threads, unsigned num_nodes)
+    : num_threads_(num_threads),
+      num_nodes_(num_nodes == 0 ? 1 : num_nodes),
+      thread_node_(num_threads),
+      node_threads_(num_nodes_ == 0 ? 1 : num_nodes_) {
+  // Blocked assignment: contiguous thread-id ranges share a node.
+  const unsigned per_node = (num_threads + num_nodes_ - 1) / num_nodes_;
+  for (unsigned tid = 0; tid < num_threads; ++tid) {
+    const unsigned node = per_node == 0 ? 0 : tid / per_node;
+    thread_node_[tid] = node < num_nodes_ ? node : num_nodes_ - 1;
+    node_threads_[thread_node_[tid]].push_back(tid);
+  }
+}
+
+double Topology::expected_internal_fraction(double k_weight) const noexcept {
+  if (num_threads_ == 0) return 0.0;
+  // E = sum_i (T_i / T) * (T_i * C) / W_i with W_i = T_i*C + sum_{j!=i} T_j*C/K.
+  // The queue multiplier C cancels.
+  double total = 0;
+  for (unsigned node = 0; node < num_nodes_; ++node) {
+    const double ti = static_cast<double>(node_threads_[node].size());
+    const double remote = static_cast<double>(num_threads_) - ti;
+    const double wi = ti + remote / k_weight;
+    if (wi > 0) total += (ti / num_threads_) * (ti / wi);
+  }
+  return total;
+}
+
+}  // namespace smq

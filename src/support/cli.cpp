@@ -1,0 +1,99 @@
+#include "support/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace smq {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      options_.emplace_back(std::string(arg.substr(0, eq)),
+                            std::string(arg.substr(eq + 1)));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      options_.emplace_back(std::string(arg), std::string(argv[++i]));
+    } else {
+      options_.emplace_back(std::string(arg), "");
+    }
+  }
+}
+
+bool ArgParser::has_flag(std::string_view name) const {
+  return std::any_of(options_.begin(), options_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+std::string ArgParser::get(std::string_view name, std::string fallback) const {
+  for (const auto& [key, value] : options_) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::int64_t ArgParser::get_int(std::string_view name, std::int64_t fallback) const {
+  const std::string v = get(name);
+  return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(std::string_view name, double fallback) const {
+  const std::string v = get(name);
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoll(v, nullptr, 10) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtod(v, nullptr) : fallback;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "-|") << std::string(width[c] + 2, '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) line(row);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace smq

@@ -1,0 +1,49 @@
+// Minimal command-line / environment parsing and table printing for the
+// bench harness and examples. Deliberately dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smq {
+
+/// Parses "--key value" and "--key=value" pairs plus bare "--flag"s.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  bool has_flag(std::string_view name) const;
+  std::string get(std::string_view name, std::string fallback = "") const;
+  std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+  double get_double(std::string_view name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> options_;
+  std::vector<std::string> positional_;
+};
+
+/// Environment variable helpers used by every bench to scale workloads.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+
+/// Fixed-width ASCII table, paper-style: header row, then data rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smq

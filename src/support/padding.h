@@ -1,0 +1,41 @@
+// Cache-line padding utilities.
+//
+// Concurrent counters and per-thread slots are padded to a full cache line
+// (actually two lines, to defeat adjacent-line prefetching on x86) so that
+// logically independent data never false-shares.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smq {
+
+// Two cache lines: x86 prefetchers pull adjacent lines, so 128 bytes is the
+// effective false-sharing granularity.
+inline constexpr std::size_t kCacheLine = 64;
+inline constexpr std::size_t kFalseSharingRange = 128;
+
+/// Wraps a value so that distinct instances in an array never share a
+/// cache line. The wrapped value stays at offset 0.
+template <typename T>
+struct alignas(kFalseSharingRange) Padded {
+  T value{};
+
+  Padded() = default;
+
+  template <typename... Args,
+            typename = std::enable_if_t<std::is_constructible_v<T, Args...>>>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(Padded<int>) == kFalseSharingRange);
+static_assert(sizeof(Padded<int>) == kFalseSharingRange);
+
+}  // namespace smq

@@ -1,0 +1,86 @@
+// Fast per-thread pseudo-random number generation.
+//
+// Scheduler hot paths (queue sampling, steal coin flips) cannot afford
+// std::mt19937's state size or modulo-based range reduction, so we use
+// xoshiro256** seeded via splitmix64 and Lemire's multiply-shift range
+// reduction. Deterministic given a seed, which the tests rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace smq {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  Xoshiro256() noexcept : Xoshiro256(0x853C49E6748FEA9BULL) {}
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift. Slightly
+  /// biased for huge bounds; irrelevant for queue sampling (bound <= 2^20).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Bernoulli trial with probability numerator/denominator.
+  bool next_bool(std::uint64_t numerator, std::uint64_t denominator) noexcept {
+    return next_below(denominator) < numerator;
+  }
+
+  /// Bernoulli trial with probability p (0 <= p <= 1).
+  bool next_bool(double p) noexcept {
+    constexpr double k2p64 = 18446744073709551616.0;  // 2^64
+    return static_cast<double>(operator()()) < p * k2p64;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stable per-thread seed derivation: one root seed, distinct streams.
+inline std::uint64_t thread_seed(std::uint64_t root, unsigned thread_id) noexcept {
+  std::uint64_t s = root ^ (0x9E3779B97F4A7C15ULL * (thread_id + 1));
+  return splitmix64(s);
+}
+
+}  // namespace smq

@@ -1,0 +1,76 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// The classic Multi-Queue (Listing 1 of the paper) protects every
+// sequential queue with a try-lock: an operation that fails to acquire the
+// lock restarts with freshly sampled queues instead of waiting, so the
+// lock must expose a cheap try_lock. Meets the Lockable requirements, so
+// it composes with std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace smq {
+
+/// CPU pause hint for spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Bounded exponential backoff for contended retry loops.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t limit = 1024) noexcept : limit_(limit) {}
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (current_ < limit_) current_ *= 2;
+  }
+
+  void reset() noexcept { current_ = 1; }
+
+ private:
+  std::uint32_t current_ = 1;
+  std::uint32_t limit_;
+};
+
+/// TTAS spinlock. Not reentrant.
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  bool try_lock() noexcept {
+    // Cheap read first: avoids a cache-line invalidation storm when the
+    // lock is held (the dominant case under Multi-Queue contention).
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void lock() noexcept {
+    Backoff backoff;
+    while (!try_lock()) backoff.pause();
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace smq

@@ -1,0 +1,25 @@
+// Wall-clock timing helper for benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace smq {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smq

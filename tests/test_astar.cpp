@@ -1,0 +1,77 @@
+// A* correctness: must find exact shortest distances (the heuristic is
+// admissible by construction) under every scheduler.
+#include "algorithms/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/sssp.h"
+#include "graph/generators.h"
+#include "scheduler_fixtures.h"
+
+namespace smq {
+namespace {
+
+template <typename Factory>
+class AStarAllSchedulers : public ::testing::Test {};
+
+TYPED_TEST_SUITE(AStarAllSchedulers, smq::testing::AllSchedulerFactories);
+
+TYPED_TEST(AStarAllSchedulers, MatchesDijkstraOnRoadGraph) {
+  const Graph g = make_road_like(900, {.seed = 21});
+  const VertexId source = 0;
+  const VertexId target = g.num_vertices() - 1;
+  const SequentialSsspResult dijkstra = sequential_sssp(g, source);
+
+  auto sched = TypeParam::make(4);
+  const AStarResult got = parallel_astar(g, source, target, sched, 4);
+  EXPECT_EQ(got.distance, dijkstra.distances[target]) << TypeParam::kName;
+}
+
+TYPED_TEST(AStarAllSchedulers, NearbyTargetShortCircuit) {
+  const Graph g = make_road_like(400, {.seed = 22});
+  auto sched = TypeParam::make(2);
+  const SequentialSsspResult dijkstra = sequential_sssp(g, 0);
+  const AStarResult got = parallel_astar(g, 0, 1, sched, 2);
+  EXPECT_EQ(got.distance, dijkstra.distances[1]);
+}
+
+TEST(SequentialAStar, MatchesDijkstraManyPairs) {
+  const Graph g = make_road_like(400, {.seed = 23});
+  const SequentialSsspResult dijkstra = sequential_sssp(g, 0);
+  for (VertexId target : {1u, 7u, 57u, 200u, g.num_vertices() - 1}) {
+    const SequentialAStarResult got = sequential_astar(g, 0, target);
+    EXPECT_EQ(got.distance, dijkstra.distances[target]) << target;
+  }
+}
+
+TEST(SequentialAStar, HeuristicPrunesExpansion) {
+  // A* should expand no more nodes than Dijkstra-to-quiescence (and
+  // usually far fewer on a spatial graph).
+  const Graph g = make_road_like(2500, {.seed = 24});
+  const VertexId target = 55;  // close to source 0 in lattice order
+  const SequentialAStarResult astar = sequential_astar(g, 0, target);
+  const SequentialSsspResult dijkstra = sequential_sssp(g, 0);
+  EXPECT_EQ(astar.distance, dijkstra.distances[target]);
+  EXPECT_LT(astar.expanded, g.num_vertices());
+}
+
+TEST(SequentialAStar, UnreachableTargetReportsInfinity) {
+  const Graph g = Graph::from_edges(4, {{0, 1, 1}, {2, 3, 1}});
+  const SequentialAStarResult got = sequential_astar(g, 0, 3);
+  EXPECT_EQ(got.distance, DistanceArray::kUnreached);
+}
+
+TEST(EquirectangularHeuristicTest, ZeroWithoutCoordinates) {
+  const Graph g = make_erdos_renyi(10, 20, 1);  // no coordinates
+  const EquirectangularHeuristic h(g, 5, 100.0);
+  EXPECT_EQ(h(0), 0u);  // degrades to Dijkstra
+}
+
+TEST(EquirectangularHeuristicTest, ZeroAtTarget) {
+  const Graph g = make_road_like(100, {.seed = 25});
+  const EquirectangularHeuristic h(g, 7, 100.0);
+  EXPECT_EQ(h(7), 0u);
+}
+
+}  // namespace
+}  // namespace smq

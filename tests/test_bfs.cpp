@@ -1,0 +1,57 @@
+// BFS correctness across every scheduler family.
+#include "algorithms/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "scheduler_fixtures.h"
+
+namespace smq {
+namespace {
+
+template <typename Factory>
+class BfsAllSchedulers : public ::testing::Test {};
+
+TYPED_TEST_SUITE(BfsAllSchedulers, smq::testing::AllSchedulerFactories);
+
+template <typename Factory>
+void check_bfs(const Graph& g, VertexId source, unsigned threads) {
+  const SequentialBfsResult ref = sequential_bfs(g, source);
+  auto sched = Factory::make(threads);
+  const ShortestPathResult got = parallel_bfs(g, source, sched, threads);
+  for (std::size_t v = 0; v < ref.levels.size(); ++v) {
+    ASSERT_EQ(got.distances[v], ref.levels[v])
+        << Factory::kName << " level differs at vertex " << v;
+  }
+}
+
+TYPED_TEST(BfsAllSchedulers, RoadGraph) {
+  check_bfs<TypeParam>(make_road_like(900, {.seed = 11}), 0, 4);
+}
+
+TYPED_TEST(BfsAllSchedulers, SocialGraph) {
+  check_bfs<TypeParam>(make_rmat(9, {.seed = 12}), 0, 4);
+}
+
+TYPED_TEST(BfsAllSchedulers, Grid) {
+  check_bfs<TypeParam>(make_grid2d(20, 20), 0, 2);
+}
+
+TEST(SequentialBfs, LevelsOnPath) {
+  const Graph g = make_path(5);
+  const SequentialBfsResult ref = sequential_bfs(g, 2);
+  EXPECT_EQ(ref.levels[2], 0u);
+  EXPECT_EQ(ref.levels[0], 2u);
+  EXPECT_EQ(ref.levels[4], 2u);
+  EXPECT_EQ(ref.visited, 5u);
+}
+
+TEST(SequentialBfs, UnreachableStaysInfinity) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 1}});
+  const SequentialBfsResult ref = sequential_bfs(g, 0);
+  EXPECT_EQ(ref.levels[2], DistanceArray::kUnreached);
+  EXPECT_EQ(ref.visited, 2u);
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,88 @@
+// Tests for the binary CSR graph cache.
+#include "graph/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace smq {
+namespace {
+
+void expect_graphs_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "degree differs at " << v;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_EQ(na[i].weight, nb[i].weight);
+    }
+  }
+}
+
+TEST(BinaryIo, RoundTripPlainGraph) {
+  const Graph g = make_erdos_renyi(200, 1500, 9);
+  std::stringstream buffer;
+  write_binary_graph(buffer, g);
+  const Graph back = read_binary_graph(buffer);
+  expect_graphs_equal(g, back);
+  EXPECT_TRUE(back.coordinates().empty());
+}
+
+TEST(BinaryIo, RoundTripWithCoordinates) {
+  const Graph g = make_road_like(400, {.seed = 10});
+  std::stringstream buffer;
+  write_binary_graph(buffer, g);
+  const Graph back = read_binary_graph(buffer);
+  expect_graphs_equal(g, back);
+  ASSERT_FALSE(back.coordinates().empty());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(back.coordinates().x[v], g.coordinates().x[v]);
+    EXPECT_DOUBLE_EQ(back.coordinates().y[v], g.coordinates().y[v]);
+  }
+}
+
+TEST(BinaryIo, RoundTripEmptyGraph) {
+  const Graph g = Graph::from_edges(3, {});
+  std::stringstream buffer;
+  write_binary_graph(buffer, g);
+  const Graph back = read_binary_graph(buffer);
+  EXPECT_EQ(back.num_vertices(), 3u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "not a graph file at all";
+  EXPECT_THROW(read_binary_graph(buffer), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const Graph g = make_erdos_renyi(50, 100, 11);
+  std::stringstream buffer;
+  write_binary_graph(buffer, g);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_binary_graph(truncated), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const Graph g = make_rmat(8, {.seed = 12});
+  const std::string path = ::testing::TempDir() + "/smq_graph_test.bin";
+  save_binary_graph(path, g);
+  const Graph back = load_binary_graph(path);
+  expect_graphs_equal(g, back);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(load_binary_graph("/nonexistent/nope.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace smq

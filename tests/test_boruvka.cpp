@@ -1,0 +1,95 @@
+// Boruvka MST correctness: forest weight must equal Kruskal's, for every
+// scheduler and for disconnected graphs.
+#include "algorithms/boruvka.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "scheduler_fixtures.h"
+
+namespace smq {
+namespace {
+
+template <typename Factory>
+class BoruvkaAllSchedulers : public ::testing::Test {};
+
+TYPED_TEST_SUITE(BoruvkaAllSchedulers, smq::testing::AllSchedulerFactories);
+
+template <typename Factory>
+void check_mst(const Graph& g, unsigned threads) {
+  const SequentialMstResult ref = sequential_kruskal(g);
+  auto sched = Factory::make(threads);
+  const MstResult got = parallel_boruvka(g, sched, threads);
+  EXPECT_EQ(got.total_weight, ref.total_weight) << Factory::kName;
+  EXPECT_EQ(got.edges_in_forest, ref.edges_in_forest) << Factory::kName;
+}
+
+TYPED_TEST(BoruvkaAllSchedulers, RoadGraph) {
+  check_mst<TypeParam>(make_road_like(400, {.seed = 31}), 4);
+}
+
+TYPED_TEST(BoruvkaAllSchedulers, RandomMultigraph) {
+  check_mst<TypeParam>(make_erdos_renyi(200, 2000, 32), 4);
+}
+
+TYPED_TEST(BoruvkaAllSchedulers, WeightedGrid) {
+  check_mst<TypeParam>(make_grid2d(15, 15, /*unit_weights=*/false, 33), 2);
+}
+
+TEST(SequentialKruskal, KnownTriangle) {
+  const Graph g = Graph::from_edges(
+      3, {{0, 1, 1}, {1, 0, 1}, {1, 2, 2}, {2, 1, 2}, {0, 2, 10}, {2, 0, 10}});
+  const SequentialMstResult ref = sequential_kruskal(g);
+  EXPECT_EQ(ref.total_weight, 3u);
+  EXPECT_EQ(ref.edges_in_forest, 2u);
+}
+
+TEST(SequentialKruskal, DisconnectedForest) {
+  const Graph g = Graph::from_edges(
+      4, {{0, 1, 5}, {1, 0, 5}, {2, 3, 7}, {3, 2, 7}});
+  const SequentialMstResult ref = sequential_kruskal(g);
+  EXPECT_EQ(ref.total_weight, 12u);
+  EXPECT_EQ(ref.edges_in_forest, 2u);
+}
+
+TEST(ParallelBoruvka, DisconnectedForestAcrossThreads) {
+  const Graph g = Graph::from_edges(
+      6, {{0, 1, 5}, {1, 0, 5}, {2, 3, 7}, {3, 2, 7}, {4, 5, 9}, {5, 4, 9}});
+  StealingMultiQueue<> sched(3, {.p_steal = 0.5});
+  const MstResult got = parallel_boruvka(g, sched, 3);
+  EXPECT_EQ(got.total_weight, 21u);
+  EXPECT_EQ(got.edges_in_forest, 3u);
+}
+
+TEST(ParallelBoruvka, EmptyGraphNoEdges) {
+  const Graph g = Graph::from_edges(4, {});
+  StealingMultiQueue<> sched(2);
+  const MstResult got = parallel_boruvka(g, sched, 2);
+  EXPECT_EQ(got.total_weight, 0u);
+  EXPECT_EQ(got.edges_in_forest, 0u);
+}
+
+TEST(UnionFindTest, FindAndLink) {
+  UnionFind uf(5);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(uf.find(v), v);
+  uf.link(1, 0);
+  uf.link(2, 0);
+  EXPECT_EQ(uf.find(1), 0u);
+  EXPECT_EQ(uf.find(2), 0u);
+  EXPECT_TRUE(uf.same_component(1, 2));
+  EXPECT_FALSE(uf.same_component(1, 3));
+}
+
+TEST(UnionFindTest, PathHalvingCompresses) {
+  UnionFind uf(4);
+  uf.link(1, 0);
+  uf.link(2, 1);
+  uf.link(3, 2);
+  EXPECT_EQ(uf.find(3), 0u);
+  // After compression, repeated finds stay cheap and correct.
+  EXPECT_EQ(uf.find(3), 0u);
+  EXPECT_EQ(uf.find(2), 0u);
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,113 @@
+// Tests for the classic Multi-Queue (paper Listing 1).
+#include "queues/classic_multiqueue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/topology.h"
+
+namespace smq {
+namespace {
+
+TEST(ClassicMultiQueue, QueueCountIsCTimesThreads) {
+  ClassicMultiQueue mq(4, {.queue_multiplier = 3});
+  EXPECT_EQ(mq.num_queues(), 12u);
+  EXPECT_EQ(mq.num_threads(), 4u);
+}
+
+TEST(ClassicMultiQueue, SingleThreadRoundTrip) {
+  ClassicMultiQueue mq(1, {.queue_multiplier = 4});
+  for (std::uint64_t p = 0; p < 50; ++p) mq.push(0, Task{p, p});
+  EXPECT_EQ(mq.approx_size(), 50u);
+  std::vector<std::uint64_t> got;
+  while (auto t = mq.try_pop(0)) got.push_back(t->priority);
+  ASSERT_EQ(got.size(), 50u);
+  std::sort(got.begin(), got.end());
+  for (std::uint64_t p = 0; p < 50; ++p) EXPECT_EQ(got[p], p);
+}
+
+TEST(ClassicMultiQueue, TwoChoiceKeepsRankModerate) {
+  // The structural property behind the O(m) expected rank: pops are not
+  // exact, but the average rank error stays near the number of queues,
+  // far below random single-choice.
+  const unsigned kThreads = 4;
+  ClassicMultiQueue mq(kThreads, {.queue_multiplier = 2, .seed = 3});
+  const std::uint64_t kTasks = 20000;
+  for (std::uint64_t p = 0; p < kTasks; ++p) mq.push(0, Task{p, p});
+  std::uint64_t popped = 0;
+  double rank_error_sum = 0;
+  while (auto t = mq.try_pop(0)) {
+    // Rank error lower bound: how far behind the global front this pop is.
+    rank_error_sum +=
+        static_cast<double>(t->priority > popped ? t->priority - popped : 0);
+    ++popped;
+  }
+  ASSERT_EQ(popped, kTasks);
+  const double mean_error = rank_error_sum / static_cast<double>(kTasks);
+  // m = 8 queues: expected rank O(m); allow generous slack.
+  EXPECT_LT(mean_error, 64.0);
+}
+
+TEST(ClassicMultiQueue, ConcurrentNoLossNoDuplication) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  ClassicMultiQueue mq(kThreads, {.queue_multiplier = 4, .seed = 5});
+
+  std::mutex merge_mutex;
+  std::map<std::uint64_t, int> seen;
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+      workers.emplace_back([&, tid] {
+        std::vector<std::uint64_t> local;
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          mq.push(tid, Task{i, tid * kPerThread + i});
+          if (i % 2 == 1) {
+            if (auto t = mq.try_pop(tid)) local.push_back(t->payload);
+          }
+        }
+        while (auto t = mq.try_pop(tid)) local.push_back(t->payload);
+        std::lock_guard<std::mutex> guard(merge_mutex);
+        for (const std::uint64_t id : local) ++seen[id];
+      });
+    }
+  }
+  while (auto t = mq.try_pop(0)) ++seen[t->payload];
+
+  EXPECT_EQ(seen.size(), kThreads * kPerThread);
+  for (const auto& [id, count] : seen) {
+    ASSERT_EQ(count, 1) << "task " << id;
+  }
+}
+
+TEST(ClassicMultiQueue, NumaWeightedSamplingStillCorrect) {
+  const unsigned kThreads = 4;
+  Topology topo(kThreads, 2);
+  ClassicMultiQueue mq(kThreads, {.queue_multiplier = 2,
+                                  .seed = 7,
+                                  .topology = &topo,
+                                  .numa_weight_k = 16.0});
+  for (std::uint64_t p = 0; p < 1000; ++p) mq.push(p % kThreads, Task{p, p});
+  std::map<std::uint64_t, int> seen;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    while (auto t = mq.try_pop(tid)) ++seen[t->payload];
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ClassicMultiQueue, EmptyPopReturnsNullopt) {
+  ClassicMultiQueue mq(2, {});
+  EXPECT_FALSE(mq.try_pop(0).has_value());
+  mq.push(0, Task{1, 1});
+  EXPECT_TRUE(mq.try_pop(1).has_value());
+  EXPECT_FALSE(mq.try_pop(1).has_value());
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,116 @@
+// Unit + property tests for the sequential d-ary heap (SMQ local queue).
+#include "queues/d_ary_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/task.h"
+#include "support/rng.h"
+
+namespace smq {
+namespace {
+
+TEST(DAryHeap, StartsEmpty) {
+  DAryHeap<Task, 4> heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.try_pop(), std::nullopt);
+}
+
+TEST(DAryHeap, SingleElementRoundTrip) {
+  DAryHeap<Task, 4> heap;
+  heap.push(Task{42, 7});
+  EXPECT_FALSE(heap.empty());
+  EXPECT_EQ(heap.top().priority, 42u);
+  const Task t = heap.pop();
+  EXPECT_EQ(t.priority, 42u);
+  EXPECT_EQ(t.payload, 7u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(DAryHeap, PopsInPriorityOrder) {
+  DAryHeap<Task, 4> heap;
+  for (std::uint64_t p : {5, 1, 9, 3, 7, 2, 8, 4, 6, 0}) {
+    heap.push(Task{p, p});
+  }
+  for (std::uint64_t expect = 0; expect < 10; ++expect) {
+    EXPECT_EQ(heap.pop().priority, expect);
+  }
+}
+
+TEST(DAryHeap, DuplicatePrioritiesAllPop) {
+  DAryHeap<Task, 4> heap;
+  for (std::uint64_t i = 0; i < 100; ++i) heap.push(Task{7, i});
+  std::vector<bool> seen(100, false);
+  for (int i = 0; i < 100; ++i) {
+    const Task t = heap.pop();
+    EXPECT_EQ(t.priority, 7u);
+    seen[t.payload] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+template <unsigned D>
+void random_property_check(std::uint64_t seed, std::size_t count) {
+  DAryHeap<Task, D> heap;
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t p = rng.next_below(1000);
+    heap.push(Task{p, i});
+    expected.push_back(p);
+    ASSERT_TRUE(heap.is_valid_heap());
+  }
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(heap.pop().priority, expected[i]) << "at pop " << i;
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(DAryHeap, RandomAgainstSortD2) { random_property_check<2>(1, 500); }
+TEST(DAryHeap, RandomAgainstSortD4) { random_property_check<4>(2, 500); }
+TEST(DAryHeap, RandomAgainstSortD8) { random_property_check<8>(3, 500); }
+
+TEST(DAryHeap, InterleavedPushPop) {
+  DAryHeap<Task, 4> heap;
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> mirror;
+  for (int round = 0; round < 2000; ++round) {
+    if (mirror.empty() || rng.next_bool(0.6)) {
+      const std::uint64_t p = rng.next_below(10000);
+      heap.push(Task{p, 0});
+      mirror.push_back(p);
+    } else {
+      const auto it = std::min_element(mirror.begin(), mirror.end());
+      ASSERT_EQ(heap.pop().priority, *it);
+      mirror.erase(it);
+    }
+  }
+  ASSERT_TRUE(heap.is_valid_heap());
+}
+
+TEST(DAryHeap, ClearResets) {
+  DAryHeap<Task, 4> heap;
+  for (std::uint64_t i = 0; i < 10; ++i) heap.push(Task{i, i});
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  heap.push(Task{1, 1});
+  EXPECT_EQ(heap.pop().priority, 1u);
+}
+
+// Parameterized sweep over sizes: heap sorts correctly at every size.
+class DAryHeapSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DAryHeapSizeSweep, SortsAtSize) {
+  random_property_check<4>(GetParam() * 7919 + 1, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DAryHeapSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 17, 64, 257,
+                                           1024));
+
+}  // namespace
+}  // namespace smq

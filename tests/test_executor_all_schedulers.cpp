@@ -1,0 +1,87 @@
+// Executor termination and exact-count invariants under EVERY scheduler
+// family: deep cascades, wide fan-outs, and priority-dependent spawning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sched/executor.h"
+#include "scheduler_fixtures.h"
+
+namespace smq {
+namespace {
+
+template <typename Factory>
+class ExecutorAllSchedulers : public ::testing::Test {};
+
+TYPED_TEST_SUITE(ExecutorAllSchedulers, smq::testing::AllSchedulerFactories);
+
+TYPED_TEST(ExecutorAllSchedulers, DeepChainCompletes) {
+  // A single chain of 20k tasks: worst case for termination detection
+  // (always exactly one live task).
+  auto sched = TypeParam::make(4);
+  std::vector<Task> seeds{Task{0, 20000}};
+  std::atomic<std::uint64_t> executed{0};
+  run_parallel(
+      sched, seeds,
+      [&](Task t, auto& ctx) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (t.payload > 0) ctx.push(Task{t.priority + 1, t.payload - 1});
+      },
+      4);
+  EXPECT_EQ(executed.load(), 20001u) << TypeParam::kName;
+}
+
+TYPED_TEST(ExecutorAllSchedulers, WideFanOutCompletes) {
+  // One root spawning 20k leaves: worst case for a single queue.
+  auto sched = TypeParam::make(4);
+  std::vector<Task> seeds{Task{0, 0}};
+  std::atomic<std::uint64_t> executed{0};
+  run_parallel(
+      sched, seeds,
+      [&](Task t, auto& ctx) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (t.payload == 0) {
+          for (std::uint64_t i = 1; i <= 20000; ++i) {
+            ctx.push(Task{i % 100, i});
+          }
+        }
+      },
+      4);
+  EXPECT_EQ(executed.load(), 20001u) << TypeParam::kName;
+}
+
+TYPED_TEST(ExecutorAllSchedulers, PriorityDependentSpawning) {
+  // Tasks spawn children only below a priority ceiling; the total count
+  // is scheduler-independent (a fixed binary tree).
+  auto sched = TypeParam::make(2);
+  std::vector<Task> seeds{Task{0, 1}};
+  std::atomic<std::uint64_t> executed{0};
+  run_parallel(
+      sched, seeds,
+      [&](Task t, auto& ctx) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (t.priority < 12) {
+          ctx.push(Task{t.priority + 1, t.payload * 2});
+          ctx.push(Task{t.priority + 1, t.payload * 2 + 1});
+        }
+      },
+      2);
+  EXPECT_EQ(executed.load(), (1u << 13) - 1) << TypeParam::kName;
+}
+
+TYPED_TEST(ExecutorAllSchedulers, RepeatedRunsOnFreshSchedulers) {
+  // The same factory must be reusable across runs (no global state).
+  for (int round = 0; round < 3; ++round) {
+    auto sched = TypeParam::make(3);
+    std::vector<Task> seeds;
+    for (std::uint64_t i = 0; i < 300; ++i) seeds.push_back(Task{i, i});
+    std::atomic<std::uint64_t> sum{0};
+    run_parallel(
+        sched, seeds,
+        [&](Task t, auto&) { sum.fetch_add(t.payload); }, 3);
+    EXPECT_EQ(sum.load(), 300u * 299 / 2) << TypeParam::kName << round;
+  }
+}
+
+}  // namespace
+}  // namespace smq

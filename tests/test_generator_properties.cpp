@@ -1,0 +1,99 @@
+// Structural property tests for the graph generators — these properties
+// are what makes the synthetic graphs valid stand-ins for Table 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algorithms/bfs.h"
+#include "algorithms/sssp.h"
+#include "graph/generators.h"
+
+namespace smq {
+namespace {
+
+TEST(GeneratorProperties, RoadLikeFullyConnected) {
+  // Road networks are (essentially) connected: BFS from 0 reaches all.
+  const Graph g = make_road_like(2500, {.seed = 81});
+  const SequentialBfsResult bfs = sequential_bfs(g, 0);
+  EXPECT_EQ(bfs.visited, g.num_vertices());
+}
+
+TEST(GeneratorProperties, RoadLikeHighDiameter) {
+  // Key road property: diameter ~ lattice side, far above log n.
+  const Graph g = make_road_like(2500, {.seed = 82});  // 50x50
+  const SequentialBfsResult bfs = sequential_bfs(g, 0);
+  const std::uint64_t max_level =
+      *std::max_element(bfs.levels.begin(), bfs.levels.end());
+  EXPECT_GE(max_level, 20u);  // >> log2(2500) ~ 11
+}
+
+TEST(GeneratorProperties, RmatLowDiameterCore) {
+  // Key social property: the reachable core is shallow.
+  const Graph g = make_rmat(12, {.seed = 83});
+  const SequentialBfsResult bfs = sequential_bfs(g, 0);
+  std::uint64_t max_level = 0;
+  for (const std::uint64_t level : bfs.levels) {
+    if (level != DistanceArray::kUnreached) {
+      max_level = std::max(max_level, level);
+    }
+  }
+  EXPECT_GT(bfs.visited, g.num_vertices() / 4);  // sizable core
+  EXPECT_LE(max_level, 12u);                     // shallow
+}
+
+TEST(GeneratorProperties, RmatDegreeSkewIsHeavyTailed) {
+  const Graph g = make_rmat(12, {.seed = 84});
+  std::vector<std::size_t> degrees(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degrees[v] = g.out_degree(v);
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  // Top 1% of vertices own a disproportionate share of edges.
+  const std::size_t top = g.num_vertices() / 100;
+  std::size_t top_edges = 0;
+  for (std::size_t i = 0; i < top; ++i) top_edges += degrees[i];
+  EXPECT_GT(top_edges * 5, g.num_edges())
+      << "top 1% should hold >20% of edges in a power-law graph";
+}
+
+TEST(GeneratorProperties, GridDistancesClosedForm) {
+  // Unit-weight grid: dist((0,0) -> (r,c)) = r + c.
+  const VertexId w = 9, h = 7;
+  const Graph g = make_grid2d(w, h);
+  const SequentialSsspResult ref = sequential_sssp(g, 0);
+  for (VertexId r = 0; r < h; ++r) {
+    for (VertexId c = 0; c < w; ++c) {
+      EXPECT_EQ(ref.distances[r * w + c], static_cast<std::uint64_t>(r + c));
+    }
+  }
+}
+
+TEST(GeneratorProperties, PathDistancesLinear) {
+  const Graph g = make_path(50, 7);
+  const SequentialSsspResult ref = sequential_sssp(g, 10);
+  for (VertexId v = 0; v < 50; ++v) {
+    const std::uint64_t hops = v > 10 ? v - 10 : 10 - v;
+    EXPECT_EQ(ref.distances[v], hops * 7);
+  }
+}
+
+TEST(GeneratorProperties, RoadLikeShortcutsShortenPaths) {
+  // With shortcuts disabled, lattice distances dominate those of the
+  // same lattice with shortcuts (same seed => same base weights).
+  RoadLikeOptions with{.seed = 85, .shortcut_fraction = 0.2};
+  RoadLikeOptions without{.seed = 85, .shortcut_fraction = 0.0};
+  const Graph g_with = make_road_like(900, with);
+  const Graph g_without = make_road_like(900, without);
+  const auto d_with = sequential_sssp(g_with, 0).distances;
+  const auto d_without = sequential_sssp(g_without, 0).distances;
+  std::uint64_t improved = 0;
+  for (VertexId v = 0; v < g_without.num_vertices(); ++v) {
+    ASSERT_LE(d_with[v], d_without[v]) << "adding edges cannot hurt";
+    improved += d_with[v] < d_without[v];
+  }
+  EXPECT_GT(improved, 0u);
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,172 @@
+// Tests for the CSR graph, generators, and DIMACS I/O.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+
+namespace smq {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, CsrConstruction) {
+  std::vector<Edge> edges{{0, 1, 10}, {0, 2, 20}, {1, 2, 30}, {2, 0, 40}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.neighbors(1)[0].to, 2u);
+  EXPECT_EQ(g.neighbors(1)[0].weight, 30u);
+}
+
+TEST(Graph, ToEdgesRoundTrip) {
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}};
+  const Graph g = Graph::from_edges(4, edges);
+  auto back = g.to_edges();
+  ASSERT_EQ(back.size(), 4u);
+  std::uint64_t weight_sum = 0;
+  for (const Edge& e : back) weight_sum += e.weight;
+  EXPECT_EQ(weight_sum, 10u);
+}
+
+TEST(Graph, IsolatedVerticesHaveNoNeighbors) {
+  const Graph g = Graph::from_edges(5, {{0, 4, 1}});
+  for (VertexId v = 1; v < 4; ++v) EXPECT_EQ(g.out_degree(v), 0u);
+}
+
+TEST(Generators, GridHasExpectedShape) {
+  const Graph g = make_grid2d(4, 3);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 4x3 grid: horizontal (3*3) + vertical (4*2) undirected = 17 * 2 arcs.
+  EXPECT_EQ(g.num_edges(), 34u);
+}
+
+TEST(Generators, PathIsConnectedChain) {
+  const Graph g = make_path(5, 3);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected edges
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(2).size(), 2u);
+}
+
+TEST(Generators, RoadLikeHasCoordinatesAndSymmetry) {
+  const Graph g = make_road_like(400);
+  EXPECT_GE(g.num_vertices(), 400u);
+  EXPECT_FALSE(g.coordinates().empty());
+  EXPECT_EQ(g.coordinates().x.size(), g.num_vertices());
+  // Every vertex connected (lattice base): degree >= 2.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.out_degree(v), 2u) << "vertex " << v;
+  }
+}
+
+TEST(Generators, RoadLikeWeightsDominateDistance) {
+  // Admissibility precondition for A*: weight >= euclid * scale.
+  const double scale = 100.0;
+  const Graph g = make_road_like(400, {.seed = 9, .weight_scale = scale});
+  const Coordinates& c = g.coordinates();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Graph::Neighbor& n : g.neighbors(v)) {
+      const double dx = c.x[v] - c.x[n.to];
+      const double dy = c.y[v] - c.y[n.to];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      EXPECT_GE(n.weight + 1e-9, dist * scale) << v << "->" << n.to;
+    }
+  }
+}
+
+TEST(Generators, RmatSizeAndSkew) {
+  const Graph g = make_rmat(10, {.seed = 5, .edge_factor = 8});
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 8192u);
+  // Power-law skew: the max out-degree should far exceed the mean (8).
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.out_degree(v));
+  }
+  EXPECT_GT(max_degree, 32u);
+}
+
+TEST(Generators, RmatWeightsWithinPaperRange) {
+  const Graph g = make_rmat(8, {.seed = 6, .max_weight = 255});
+  for (const Edge& e : g.to_edges()) EXPECT_LE(e.weight, 255u);
+}
+
+TEST(Generators, ErdosRenyiEdgeCount) {
+  const Graph g = make_erdos_renyi(100, 500, 1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(Generators, DeterministicForSeed) {
+  const Graph a = make_rmat(8, {.seed = 77});
+  const Graph b = make_rmat(8, {.seed = 77});
+  EXPECT_EQ(a.to_edges().size(), b.to_edges().size());
+  const auto ea = a.to_edges(), eb = b.to_edges();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].to, eb[i].to);
+    EXPECT_EQ(ea[i].weight, eb[i].weight);
+  }
+}
+
+TEST(Dimacs, ParseBasicFile) {
+  std::istringstream in(
+      "c comment line\n"
+      "p sp 3 2\n"
+      "a 1 2 5\n"
+      "a 2 3 7\n");
+  const Graph g = read_dimacs_gr(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_EQ(g.neighbors(0)[0].weight, 5u);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  std::istringstream missing_header("a 1 2 5\n");
+  EXPECT_THROW(read_dimacs_gr(missing_header), std::runtime_error);
+  std::istringstream bad_vertex("p sp 2 1\na 1 9 5\n");
+  EXPECT_THROW(read_dimacs_gr(bad_vertex), std::runtime_error);
+  std::istringstream bad_tag("p sp 2 1\nz 1 2 3\n");
+  EXPECT_THROW(read_dimacs_gr(bad_tag), std::runtime_error);
+}
+
+TEST(Dimacs, WriteReadRoundTrip) {
+  const Graph g = make_erdos_renyi(50, 200, 3);
+  std::stringstream buffer;
+  write_dimacs_gr(buffer, g);
+  const Graph back = read_dimacs_gr(buffer);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  const auto ea = g.to_edges(), eb = back.to_edges();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].from, eb[i].from);
+    EXPECT_EQ(ea[i].to, eb[i].to);
+    EXPECT_EQ(ea[i].weight, eb[i].weight);
+  }
+}
+
+TEST(Dimacs, CoordinatesParse) {
+  std::istringstream gr("p sp 2 1\na 1 2 3\n");
+  Graph g = read_dimacs_gr(gr);
+  std::istringstream co("v 1 -73000000 41000000\nv 2 -74000000 42000000\n");
+  read_dimacs_co(co, g);
+  ASSERT_FALSE(g.coordinates().empty());
+  EXPECT_DOUBLE_EQ(g.coordinates().x[0], -73000000.0);
+  EXPECT_DOUBLE_EQ(g.coordinates().y[1], 42000000.0);
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,114 @@
+// Cross-module integration tests: full pipelines exercising graph I/O,
+// generators, schedulers, executor, and algorithms together — the way a
+// downstream user composes the library.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "algorithms/astar.h"
+#include "algorithms/boruvka.h"
+#include "algorithms/sssp.h"
+#include "core/stealing_multiqueue.h"
+#include "graph/binary_io.h"
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+#include "queues/obim.h"
+#include "sched/topology.h"
+
+namespace smq {
+namespace {
+
+TEST(Integration, DimacsToBinaryToSsspPipeline) {
+  // Generate -> write DIMACS -> parse -> write binary -> load -> solve.
+  const Graph original = make_road_like(400, {.seed = 71});
+  std::stringstream dimacs;
+  write_dimacs_gr(dimacs, original);
+  const Graph parsed = read_dimacs_gr(dimacs);
+
+  const std::string path = ::testing::TempDir() + "/pipeline.bin";
+  save_binary_graph(path, parsed);
+  const Graph loaded = load_binary_graph(path);
+  std::remove(path.c_str());
+
+  const SequentialSsspResult ref = sequential_sssp(original, 0);
+  StealingMultiQueue<> sched(4, {.p_steal = 0.25});
+  const ShortestPathResult got = parallel_sssp(loaded, 0, sched, 4);
+  for (std::size_t v = 0; v < ref.distances.size(); ++v) {
+    ASSERT_EQ(got.distances[v], ref.distances[v]) << "vertex " << v;
+  }
+}
+
+TEST(Integration, NumaAwareSmqSolvesSssp) {
+  const Graph g = make_road_like(900, {.seed = 72});
+  const unsigned threads = 4;
+  Topology topo(threads, 2);
+  StealingMultiQueue<> sched(threads, {.steal_size = 4,
+                                       .p_steal = 0.125,
+                                       .topology = &topo,
+                                       .numa_weight_k = 8.0});
+  const SequentialSsspResult ref = sequential_sssp(g, 0);
+  const ShortestPathResult got = parallel_sssp(g, 0, sched, threads);
+  for (std::size_t v = 0; v < ref.distances.size(); ++v) {
+    ASSERT_EQ(got.distances[v], ref.distances[v]);
+  }
+}
+
+TEST(Integration, NumaShardedObimSolvesSssp) {
+  const Graph g = make_rmat(9, {.seed = 73});
+  const unsigned threads = 4;
+  Topology topo(threads, 2);
+  Obim sched(threads,
+             {.chunk_size = 16, .delta_shift = 4, .topology = &topo});
+  const SequentialSsspResult ref = sequential_sssp(g, 0);
+  const ShortestPathResult got = parallel_sssp(g, 0, sched, threads);
+  for (std::size_t v = 0; v < ref.distances.size(); ++v) {
+    ASSERT_EQ(got.distances[v], ref.distances[v]);
+  }
+}
+
+TEST(Integration, SameSeedSameSchedulerIsDeterministicSingleThread) {
+  // Single-threaded runs with fixed seeds must be fully reproducible
+  // (wall time aside).
+  const Graph g = make_road_like(400, {.seed = 74});
+  auto run = [&] {
+    StealingMultiQueue<> sched(1, {.steal_size = 4, .p_steal = 0.5,
+                                   .seed = 99});
+    return parallel_sssp(g, 0, sched, 1);
+  };
+  const ShortestPathResult a = run();
+  const ShortestPathResult b = run();
+  EXPECT_EQ(a.run.stats.pops, b.run.stats.pops);
+  EXPECT_EQ(a.run.stats.pushes, b.run.stats.pushes);
+  EXPECT_EQ(a.distances, b.distances);
+}
+
+TEST(Integration, BackToBackAlgorithmsOnSharedGraph) {
+  // Run SSSP, then A*, then MST on the same graph object (immutability
+  // of Graph under concurrent algorithm state).
+  const Graph g = make_road_like(625, {.seed = 75});
+  StealingMultiQueue<> s1(3);
+  const ShortestPathResult sssp = parallel_sssp(g, 0, s1, 3);
+
+  StealingMultiQueue<> s2(3);
+  const AStarResult astar =
+      parallel_astar(g, 0, g.num_vertices() - 1, s2, 3);
+  EXPECT_EQ(astar.distance, sssp.distances[g.num_vertices() - 1]);
+
+  StealingMultiQueue<> s3(3);
+  const MstResult mst = parallel_boruvka(g, s3, 3);
+  EXPECT_EQ(mst.total_weight, sequential_kruskal(g).total_weight);
+}
+
+TEST(Integration, StatsAreInternallyConsistent) {
+  const Graph g = make_rmat(8, {.seed = 76});
+  StealingMultiQueue<> sched(4, {.p_steal = 0.25});
+  const ShortestPathResult r = parallel_sssp(g, 0, sched, 4);
+  // Every pop was previously pushed, and every push is eventually popped
+  // (the run drains).
+  EXPECT_EQ(r.run.stats.pops, r.run.stats.pushes);
+  EXPECT_LE(r.run.stats.wasted, r.run.stats.pops);
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,131 @@
+// Tests for the rank simulator: Fenwick order statistics and the
+// qualitative shape of Theorem 1.
+#include "rank/rank_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "rank/order_statistics.h"
+
+namespace smq {
+namespace {
+
+TEST(OrderStatisticsTest, InsertEraseRank) {
+  OrderStatistics os(10);
+  os.insert(3);
+  os.insert(7);
+  os.insert(5);
+  EXPECT_EQ(os.size(), 3u);
+  EXPECT_EQ(os.rank_of(3), 0u);
+  EXPECT_EQ(os.rank_of(5), 1u);
+  EXPECT_EQ(os.rank_of(7), 2u);
+  EXPECT_EQ(os.rank_of(9), 3u);
+  os.erase(5);
+  EXPECT_EQ(os.rank_of(7), 1u);
+  EXPECT_EQ(os.size(), 2u);
+}
+
+TEST(OrderStatisticsTest, RankOfZeroAlwaysZero) {
+  OrderStatistics os(100);
+  for (std::size_t i = 0; i < 100; ++i) os.insert(i);
+  EXPECT_EQ(os.rank_of(0), 0u);
+  EXPECT_EQ(os.rank_of(99), 99u);
+}
+
+TEST(RankSim, ExactQueueHasRankZero) {
+  // One queue, always delete its top: the deleted element is always the
+  // global minimum, rank 0. (n is clamped to 2; use classic with both
+  // choices hitting distinct queues of a 2-queue system — rank stays tiny.)
+  RankSimConfig cfg;
+  cfg.process = RankProcess::kClassicMq;
+  cfg.num_queues = 2;
+  cfg.classic_c = 1;
+  cfg.num_elements = 1 << 12;
+  cfg.seed = 5;
+  const RankSimResult r = simulate_rank(cfg);
+  EXPECT_LT(r.mean_rank, 4.0);  // 2-choice over 2 queues is near-exact
+}
+
+TEST(RankSim, ClassicMqRankScalesWithQueueCount) {
+  RankSimConfig cfg;
+  cfg.process = RankProcess::kClassicMq;
+  cfg.num_elements = 1 << 14;
+  cfg.seed = 6;
+
+  cfg.num_queues = 4;
+  const double rank4 = simulate_rank(cfg).mean_rank;
+  cfg.num_queues = 32;
+  const double rank32 = simulate_rank(cfg).mean_rank;
+  // Theorem: expected rank O(m). 8x queues => roughly 8x rank; allow wide
+  // slack but demand clear growth.
+  EXPECT_GT(rank32, 3.0 * rank4);
+  EXPECT_LT(rank32, 64.0 * std::max(rank4, 1.0));
+}
+
+TEST(RankSim, SmqRankWorsensAsStealProbabilityDrops) {
+  RankSimConfig cfg;
+  cfg.process = RankProcess::kSmq;
+  cfg.num_queues = 16;
+  cfg.num_elements = 1 << 14;
+  cfg.seed = 7;
+
+  cfg.p_steal = 1.0;
+  const double rank_high = simulate_rank(cfg).mean_rank;
+  cfg.p_steal = 1.0 / 64.0;
+  const double rank_low = simulate_rank(cfg).mean_rank;
+  // Theorem 1: rank ~ n/p_steal * log(1/p_steal): dropping p_steal by 64x
+  // must visibly inflate the rank.
+  EXPECT_GT(rank_low, 4.0 * rank_high);
+}
+
+TEST(RankSim, BatchingInflatesRankLinearly) {
+  RankSimConfig cfg;
+  cfg.process = RankProcess::kSmq;
+  cfg.num_queues = 16;
+  cfg.num_elements = 1 << 15;
+  cfg.p_steal = 0.25;
+  cfg.seed = 8;
+
+  cfg.batch_size = 1;
+  const double rank_b1 = simulate_rank(cfg).mean_rank;
+  cfg.batch_size = 16;
+  const double rank_b16 = simulate_rank(cfg).mean_rank;
+  EXPECT_GT(rank_b16, 3.0 * rank_b1);  // O(nB) growth in B
+}
+
+TEST(RankSim, SkewedSchedulerDegradesRank) {
+  RankSimConfig cfg;
+  cfg.process = RankProcess::kSmq;
+  cfg.num_queues = 16;
+  cfg.num_elements = 1 << 14;
+  cfg.p_steal = 0.125;
+  cfg.seed = 9;
+
+  cfg.gamma = 0.0;
+  const double uniform_rank = simulate_rank(cfg).mean_rank;
+  cfg.gamma = 0.9;
+  const double skewed_rank = simulate_rank(cfg).mean_rank;
+  EXPECT_GT(skewed_rank, uniform_rank);
+}
+
+TEST(RankSim, DeterministicForSeed) {
+  RankSimConfig cfg;
+  cfg.num_elements = 1 << 12;
+  cfg.seed = 10;
+  const RankSimResult a = simulate_rank(cfg);
+  const RankSimResult b = simulate_rank(cfg);
+  EXPECT_EQ(a.mean_rank, b.mean_rank);
+  EXPECT_EQ(a.max_rank, b.max_rank);
+  EXPECT_EQ(a.deletions, b.deletions);
+}
+
+TEST(RankSim, DeletionCountHonorsDrainFraction) {
+  RankSimConfig cfg;
+  cfg.num_elements = 1000;
+  cfg.drain_fraction = 0.5;
+  const RankSimResult r = simulate_rank(cfg);
+  EXPECT_GE(r.deletions, 500u);
+  EXPECT_LT(r.deletions, 520u);  // batch overshoot only
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,73 @@
+// Tests for the shared label-correcting substrate (DistanceArray).
+#include "algorithms/relax.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace smq {
+namespace {
+
+TEST(DistanceArray, InitializesUnreached) {
+  DistanceArray dist(4);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(dist.load(v), DistanceArray::kUnreached);
+  }
+}
+
+TEST(DistanceArray, RelaxMinOnlyImproves) {
+  DistanceArray dist(1);
+  EXPECT_TRUE(dist.relax_min(0, 10));
+  EXPECT_FALSE(dist.relax_min(0, 10));  // equal: no improvement
+  EXPECT_FALSE(dist.relax_min(0, 11));
+  EXPECT_TRUE(dist.relax_min(0, 9));
+  EXPECT_EQ(dist.load(0), 9u);
+}
+
+TEST(DistanceArray, SnapshotMatchesLoads) {
+  DistanceArray dist(3);
+  dist.store(0, 5);
+  dist.relax_min(2, 7);
+  const auto snap = dist.snapshot();
+  EXPECT_EQ(snap[0], 5u);
+  EXPECT_EQ(snap[1], DistanceArray::kUnreached);
+  EXPECT_EQ(snap[2], 7u);
+}
+
+TEST(DistanceArray, ConcurrentRelaxKeepsMinimum) {
+  DistanceArray dist(1);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        // Each thread relaxes with values (t+1)*kPerThread down to
+        // t*kPerThread+1; the global minimum is 1 (from thread 0).
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          dist.relax_min(0, (static_cast<std::uint64_t>(t) + 1) * kPerThread - i);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(dist.load(0), 1u);
+}
+
+TEST(DistanceArray, ExactlyOneWinnerPerImprovement) {
+  // Concurrent relax_min to the same value: only one thread may win.
+  DistanceArray dist(1);
+  std::atomic<int> winners{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 8; ++t) {
+      workers.emplace_back([&] {
+        if (dist.relax_min(0, 42)) winners.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(winners.load(), 1);
+}
+
+}  // namespace
+}  // namespace smq

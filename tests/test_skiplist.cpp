@@ -1,0 +1,90 @@
+// Tests for the sequential skip list (Appendix D local queue).
+#include "queues/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace smq {
+namespace {
+
+TEST(SequentialSkipList, StartsEmpty) {
+  SequentialSkipList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.try_pop(), std::nullopt);
+}
+
+TEST(SequentialSkipList, PopsInOrder) {
+  SequentialSkipList list;
+  for (std::uint64_t p : {9, 1, 5, 3, 7}) list.push(Task{p, p});
+  EXPECT_TRUE(list.is_valid());
+  for (std::uint64_t expect : {1, 3, 5, 7, 9}) {
+    EXPECT_EQ(list.pop().priority, expect);
+  }
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(SequentialSkipList, DuplicatePrioritiesUseTiebreaker) {
+  SequentialSkipList list;
+  for (std::uint64_t i = 0; i < 50; ++i) list.push(Task{7, i});
+  EXPECT_EQ(list.size(), 50u);
+  EXPECT_TRUE(list.is_valid());
+  std::uint64_t last_payload = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Task t = list.pop();
+    EXPECT_EQ(t.priority, 7u);
+    if (i > 0) EXPECT_GT(t.payload, last_payload);  // strict total order
+    last_payload = t.payload;
+  }
+}
+
+TEST(SequentialSkipList, RandomAgainstSort) {
+  SequentialSkipList list;
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const std::uint64_t p = rng.next_below(500);
+    list.push(Task{p, i});
+    expected.push_back(p);
+  }
+  EXPECT_TRUE(list.is_valid());
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(list.pop().priority, expected[i]) << "at " << i;
+  }
+}
+
+TEST(SequentialSkipList, InterleavedPushPop) {
+  SequentialSkipList list;
+  Xoshiro256 rng(6);
+  std::vector<Task> mirror;
+  for (int round = 0; round < 3000; ++round) {
+    if (mirror.empty() || rng.next_bool(0.55)) {
+      const Task t{rng.next_below(1000), static_cast<std::uint64_t>(round)};
+      list.push(t);
+      mirror.push_back(t);
+    } else {
+      const auto it = std::min_element(mirror.begin(), mirror.end());
+      const Task got = list.pop();
+      ASSERT_EQ(got.priority, it->priority);
+      ASSERT_EQ(got.payload, it->payload);
+      mirror.erase(it);
+    }
+  }
+  EXPECT_TRUE(list.is_valid());
+  EXPECT_EQ(list.size(), mirror.size());
+}
+
+TEST(SequentialSkipList, TopMatchesNextPop) {
+  SequentialSkipList list;
+  for (std::uint64_t p : {42, 17, 99}) list.push(Task{p, p});
+  EXPECT_EQ(list.top().priority, 17u);
+  EXPECT_EQ(list.pop().priority, 17u);
+  EXPECT_EQ(list.top().priority, 42u);
+}
+
+}  // namespace
+}  // namespace smq

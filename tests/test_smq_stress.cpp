@@ -1,0 +1,133 @@
+// Concurrency stress tests for the SMQ's cross-thread protocol: an
+// owner continuously publishing batches while multiple stealers race,
+// and parameterized whole-system sweeps over (threads, p_steal,
+// steal_size) checking the global no-loss/no-duplication invariant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/heap_with_stealing.h"
+#include "core/stealing_multiqueue.h"
+#include "sched/executor.h"
+
+namespace smq {
+namespace {
+
+// Owner drains its queue (add + extract) while stealers hammer
+// try_steal. Every task must surface exactly once, across owner pops
+// and successful steals.
+TEST(HeapWithStealingStress, OwnerVsStealersExactlyOnce) {
+  constexpr std::uint64_t kTasks = 60000;
+  constexpr int kStealers = 3;
+  HeapWithStealingBuffer<DAryHeap<Task, 4>> queue(4);
+
+  std::atomic<bool> owner_done{false};
+  std::mutex merge_mutex;
+  std::map<std::uint64_t, int> seen;
+
+  auto record = [&](const std::vector<Task>& tasks) {
+    std::lock_guard<std::mutex> guard(merge_mutex);
+    for (const Task& t : tasks) ++seen[t.payload];
+  };
+
+  {
+    std::vector<std::jthread> stealers;
+    for (int s = 0; s < kStealers; ++s) {
+      stealers.emplace_back([&] {
+        std::vector<Task> batch;
+        std::vector<Task> mine;
+        while (!owner_done.load(std::memory_order_acquire)) {
+          batch.clear();
+          if (queue.try_steal(batch) > 0) {
+            mine.insert(mine.end(), batch.begin(), batch.end());
+          }
+        }
+        record(mine);
+      });
+    }
+
+    std::jthread owner([&] {
+      std::vector<Task> mine;
+      std::vector<Task> claimed;
+      std::uint64_t next_id = 0;
+      // Interleave adds and owner-pops; owner-pop follows the real SMQ
+      // protocol (classify, pop heap or reclaim own buffer).
+      while (true) {
+        for (int i = 0; i < 16 && next_id < kTasks; ++i, ++next_id) {
+          queue.add_local(Task{next_id % 97, next_id});
+        }
+        const OwnerPopSource src = queue.classify_pop();
+        if (src == OwnerPopSource::kEmpty) {
+          if (next_id >= kTasks) break;
+          continue;
+        }
+        if (src == OwnerPopSource::kHeap) {
+          mine.push_back(queue.pop_heap());
+        } else {
+          claimed.clear();
+          if (queue.reclaim_buffer(claimed) > 0) {
+            mine.insert(mine.end(), claimed.begin(), claimed.end());
+          }
+        }
+      }
+      record(mine);
+      owner_done.store(true, std::memory_order_release);
+    });
+  }
+
+  std::uint64_t total = 0;
+  for (const auto& [id, count] : seen) {
+    ASSERT_EQ(count, 1) << "task " << id << " surfaced " << count << " times";
+    ++total;
+  }
+  EXPECT_EQ(total, kTasks);
+}
+
+// Whole-system property sweep: for every (threads, p_steal, steal_size)
+// combination, an executor-driven counter cascade completes exactly.
+using SmqParam = std::tuple<unsigned, double, std::size_t>;
+
+class SmqParamSweep : public ::testing::TestWithParam<SmqParam> {};
+
+TEST_P(SmqParamSweep, CascadeExecutesExactly) {
+  const auto [threads, p_steal, steal_size] = GetParam();
+  StealingMultiQueue<> sched(
+      threads, {.steal_size = steal_size, .p_steal = p_steal, .seed = 31});
+
+  // Ternary cascade of depth 7 => (3^8 - 1) / 2 tasks.
+  constexpr std::uint64_t kDepth = 7;
+  std::vector<Task> seeds{Task{0, 0}};
+  std::atomic<std::uint64_t> executed{0};
+  run_parallel(
+      sched, seeds,
+      [&](Task t, auto& ctx) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (t.priority < kDepth) {
+          for (int i = 0; i < 3; ++i) ctx.push(Task{t.priority + 1, 0});
+        }
+      },
+      threads);
+  std::uint64_t expected = 0, power = 1;
+  for (std::uint64_t d = 0; d <= kDepth; ++d, power *= 3) expected += power;
+  EXPECT_EQ(executed.load(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SmqParamSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(0.0, 0.125, 1.0),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{64})),
+    [](const ::testing::TestParamInfo<SmqParam>& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 1000)) +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,83 @@
+// SSSP correctness across every scheduler family and thread counts.
+#include "algorithms/sssp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "scheduler_fixtures.h"
+
+namespace smq {
+namespace {
+
+template <typename Factory>
+class SsspAllSchedulers : public ::testing::Test {};
+
+TYPED_TEST_SUITE(SsspAllSchedulers, smq::testing::AllSchedulerFactories);
+
+template <typename Factory>
+void check_sssp(const Graph& g, VertexId source, unsigned threads) {
+  const SequentialSsspResult ref = sequential_sssp(g, source);
+  auto sched = Factory::make(threads);
+  const ShortestPathResult got = parallel_sssp(g, source, sched, threads);
+  ASSERT_EQ(got.distances.size(), ref.distances.size());
+  for (std::size_t v = 0; v < ref.distances.size(); ++v) {
+    ASSERT_EQ(got.distances[v], ref.distances[v])
+        << Factory::kName << " differs at vertex " << v << " with "
+        << threads << " threads";
+  }
+  // A relaxed scheduler can only do extra work, never less.
+  EXPECT_GE(got.run.stats.pops, ref.settled);
+}
+
+TYPED_TEST(SsspAllSchedulers, RoadGraphSingleThread) {
+  check_sssp<TypeParam>(make_road_like(900, {.seed = 1}), 0, 1);
+}
+
+TYPED_TEST(SsspAllSchedulers, RoadGraphFourThreads) {
+  check_sssp<TypeParam>(make_road_like(900, {.seed = 2}), 0, 4);
+}
+
+TYPED_TEST(SsspAllSchedulers, SocialGraphFourThreads) {
+  check_sssp<TypeParam>(make_rmat(9, {.seed = 3}), 0, 4);
+}
+
+TYPED_TEST(SsspAllSchedulers, GridWithWeights) {
+  check_sssp<TypeParam>(make_grid2d(24, 24, /*unit_weights=*/false, 4), 5, 3);
+}
+
+TYPED_TEST(SsspAllSchedulers, DisconnectedGraphLeavesUnreached) {
+  // Two islands: vertices 0-2 and 3-5.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}});
+  auto sched = TypeParam::make(2);
+  const ShortestPathResult got = parallel_sssp(g, 0, sched, 2);
+  EXPECT_EQ(got.distances[2], 2u);
+  EXPECT_EQ(got.distances[3], DistanceArray::kUnreached);
+  EXPECT_EQ(got.distances[5], DistanceArray::kUnreached);
+}
+
+TEST(SequentialSssp, PathGraphDistances) {
+  const Graph g = make_path(6, 10);
+  const SequentialSsspResult ref = sequential_sssp(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(ref.distances[v], v * 10u);
+  EXPECT_EQ(ref.settled, 6u);
+}
+
+TEST(SequentialSssp, SingleVertex) {
+  const Graph g = Graph::from_edges(1, {});
+  const SequentialSsspResult ref = sequential_sssp(g, 0);
+  EXPECT_EQ(ref.distances[0], 0u);
+  EXPECT_EQ(ref.settled, 1u);
+}
+
+TEST(ParallelSssp, WastedWorkReportedOnSocialGraph) {
+  const Graph g = make_rmat(10, {.seed = 4});
+  StealingMultiQueue<> sched(4, {.p_steal = 0.125});
+  const ShortestPathResult got = parallel_sssp(g, 0, sched, 4);
+  const SequentialSsspResult ref = sequential_sssp(g, 0);
+  // work increase = pops / settled >= 1.
+  EXPECT_GE(got.run.work_increase(ref.settled), 1.0);
+}
+
+}  // namespace
+}  // namespace smq

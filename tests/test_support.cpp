@@ -1,0 +1,149 @@
+// Tests for the support layer: RNG, spinlock, padding, timer, CLI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/cli.h"
+#include "support/padding.h"
+#include "support/rng.h"
+#include "support/spinlock.h"
+#include "support/timer.h"
+
+namespace smq {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.next_bool(0.125);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.125, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ThreadSeedsDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (unsigned tid = 0; tid < 64; ++tid) seeds.insert(thread_seed(42, tid));
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+TEST(Padding, NoFalseSharingLayout) {
+  std::vector<Padded<int>> slots(4);
+  const auto a = reinterpret_cast<std::uintptr_t>(&slots[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&slots[1].value);
+  EXPECT_GE(b - a, kFalseSharingRange);
+}
+
+TEST(Spinlock, MutualExclusion) {
+  Spinlock lock;
+  std::int64_t counter = 0;
+  constexpr int kIters = 20000;
+  auto worker = [&] {
+    for (int i = 0; i < kIters; ++i) {
+      lock.lock();
+      ++counter;
+      lock.unlock();
+    }
+  };
+  {
+    std::jthread t1(worker), t2(worker), t3(worker);
+  }
+  EXPECT_EQ(counter, 3 * kIters);
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  Spinlock lock;
+  ASSERT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.millis(), 15.0);
+  t.reset();
+  EXPECT_LT(t.millis(), 15.0);
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  // Note: a bare "--flag" followed by a non-option would consume it as a
+  // value, so flags go last or use "--flag=1".
+  const char* argv[] = {"prog",    "pos1", "--alpha", "3",
+                        "--beta=x", "--gamma", "2.5",  "--flag"};
+  ArgParser args(8, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("beta"), "x");
+  EXPECT_TRUE(args.has_flag("flag"));
+  EXPECT_DOUBLE_EQ(args.get_double("gamma", 0), 2.5);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, TablePrinterAlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"a", "1.00"});
+  table.add_row({"longer", "2.50"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("2.50"), std::string::npos);
+}
+
+TEST(Cli, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::fmt(1.234, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace smq

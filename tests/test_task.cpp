@@ -1,0 +1,46 @@
+// Tests for the Task value type and its strict total order.
+#include "sched/task.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace smq {
+namespace {
+
+TEST(Task, PriorityOrdersFirst) {
+  EXPECT_LT((Task{1, 100}), (Task{2, 0}));
+  EXPECT_GT((Task{5, 0}), (Task{4, 999}));
+}
+
+TEST(Task, PayloadBreaksTies) {
+  EXPECT_LT((Task{3, 1}), (Task{3, 2}));
+  EXPECT_EQ((Task{3, 2}), (Task{3, 2}));
+}
+
+TEST(Task, DefaultIsInfinity) {
+  const Task t;
+  EXPECT_EQ(t.priority, Task::kInfinity);
+  EXPECT_EQ(t, kNoTask);
+  EXPECT_LT((Task{0, 0}), kNoTask);
+}
+
+TEST(Task, TotalOrderIsStrict) {
+  std::vector<Task> tasks{{2, 1}, {1, 2}, {2, 0}, {1, 1}, {0, 5}};
+  std::sort(tasks.begin(), tasks.end());
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_LT(tasks[i - 1], tasks[i]);
+  }
+  EXPECT_EQ(tasks.front().priority, 0u);
+  EXPECT_EQ(tasks.back(), (Task{2, 1}));
+}
+
+TEST(Task, TriviallyCopyable16Bytes) {
+  static_assert(std::is_trivially_copyable_v<Task>);
+  static_assert(sizeof(Task) == 16);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace smq

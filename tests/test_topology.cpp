@@ -1,0 +1,116 @@
+// Tests for the virtual NUMA topology and the weighted queue sampler.
+#include "sched/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/numa_sampler.h"
+#include "support/rng.h"
+
+namespace smq {
+namespace {
+
+TEST(Topology, BlockedAssignment) {
+  Topology topo(8, 2);
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  for (unsigned tid = 0; tid < 4; ++tid) EXPECT_EQ(topo.node_of_thread(tid), 0u);
+  for (unsigned tid = 4; tid < 8; ++tid) EXPECT_EQ(topo.node_of_thread(tid), 1u);
+  EXPECT_EQ(topo.threads_of_node(0).size(), 4u);
+  EXPECT_EQ(topo.threads_of_node(1).size(), 4u);
+}
+
+TEST(Topology, UnevenThreadCount) {
+  Topology topo(5, 2);
+  unsigned total = 0;
+  for (unsigned node = 0; node < topo.num_nodes(); ++node) {
+    total += topo.threads_of_node(node).size();
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Topology, UmaSingleNode) {
+  Topology topo = Topology::uma(6);
+  EXPECT_EQ(topo.num_nodes(), 1u);
+  for (unsigned tid = 0; tid < 6; ++tid) EXPECT_EQ(topo.node_of_thread(tid), 0u);
+}
+
+TEST(Topology, InternalFractionMatchesExactFormula) {
+  // Exact: E = Ti / (Ti + (T - Ti)/K) with equal nodes; the paper's
+  // T(1 - 1/K) is its large-K simplification.
+  Topology topo(16, 4);
+  const double k = 16.0;
+  const double exact = 4.0 / (4.0 + 12.0 / k);
+  EXPECT_NEAR(topo.expected_internal_fraction(k), exact, 1e-9);
+}
+
+TEST(Topology, InternalFractionIncreasesWithK) {
+  Topology topo(16, 4);
+  double previous = 0;
+  for (double k : {1.0, 2.0, 8.0, 64.0, 1024.0}) {
+    const double e = topo.expected_internal_fraction(k);
+    EXPECT_GT(e, previous);
+    previous = e;
+  }
+  // Large K approaches the paper's asymptote 1 - 1/K -> 1.
+  EXPECT_GT(previous, 0.95);
+}
+
+TEST(Topology, InternalFractionUniformAtK1) {
+  Topology topo(8, 2);
+  // K = 1: no weighting; internal fraction = per-node share = 1/2.
+  EXPECT_NEAR(topo.expected_internal_fraction(1.0), 0.5, 1e-9);
+}
+
+TEST(QueueSamplerTest, UniformCoversAllQueues) {
+  QueueSampler sampler(8);
+  Xoshiro256 rng(1);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[sampler.sample(0, rng)];
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [queue, count] : counts) EXPECT_GT(count, 500);
+}
+
+TEST(QueueSamplerTest, WeightedPrefersLocalNode) {
+  const unsigned kThreads = 8;
+  Topology topo(kThreads, 2);
+  const double k = 8.0;
+  QueueSampler sampler(kThreads, kThreads, topo, k);
+  ASSERT_TRUE(sampler.is_weighted());
+
+  Xoshiro256 rng(2);
+  int local = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::size_t q = sampler.sample(/*tid=*/0, rng);
+    if (!sampler.is_remote(0, q)) ++local;
+  }
+  // Expected local fraction: 4 local weight-1 queues vs 4 remote 1/K:
+  // 4 / (4 + 4/8) = 8/9.
+  EXPECT_NEAR(static_cast<double>(local) / kSamples, 8.0 / 9.0, 0.02);
+}
+
+TEST(QueueSamplerTest, K1FallsBackToUniform) {
+  Topology topo(8, 2);
+  const QueueSampler sampler = make_queue_sampler(8, 8, &topo, 1.0);
+  EXPECT_FALSE(sampler.is_weighted());
+}
+
+TEST(QueueSamplerTest, NullTopologyIsUniform) {
+  const QueueSampler sampler = make_queue_sampler(16, 8, nullptr, 8.0);
+  EXPECT_FALSE(sampler.is_weighted());
+  EXPECT_EQ(sampler.num_queues(), 16u);
+}
+
+TEST(QueueSamplerTest, WeightedStillReachesRemoteQueues) {
+  Topology topo(4, 2);
+  QueueSampler sampler(4, 4, topo, 64.0);
+  Xoshiro256 rng(3);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[sampler.sample(0, rng)];
+  EXPECT_EQ(counts.size(), 4u) << "even heavily weighted sampling must keep "
+                                  "remote queues reachable (fairness)";
+}
+
+}  // namespace
+}  // namespace smq
