@@ -1,115 +1,99 @@
-// Figure 2 (+ Appendix F, Figures 21-22): the headline comparison —
-// SMQ (tuned and default, heap and skip-list local queues), the
-// optimized NUMA-aware classic Multi-Queue, OBIM, PMOD, RELD, and
-// SprayList across the twelve benchmarks, sweeping thread counts.
+// Figure 2 (+ Appendix F, Figures 21-22): the headline comparison.
+//
+// Contenders are *enumerated from the scheduler registry* — every
+// registered multi-threaded scheduler competes, plus a tuned-SMQ entry
+// whose parameters mirror the paper's Table 12 per-workload tuning.
 // Speedups are versus the classic Multi-Queue on ONE thread, exactly as
 // in the paper; total work is reported next to each speedup.
 #include <iostream>
 
 #include "harness/bench_main.h"
+#include "registry/scheduler_registry.h"
 
 namespace {
 
 using namespace smq;
 using namespace smq::bench;
 
+bool social_graph(const Workload& w) {
+  return w.name.find("TWITTER") != std::string::npos ||
+         w.name.find("WEB") != std::string::npos ||
+         w.name.find("social") != std::string::npos;
+}
+
 /// Task-specific tuned SMQ parameters, mirroring the paper's Table 12
 /// tuning (road SSSP/A* like tiny batches + frequent stealing; social
 /// graphs like bigger batches + rare stealing).
-SchedulerSpec tuned_smq(const Workload& w) {
-  SchedulerSpec spec;
-  spec.kind = SchedKind::kSmqHeap;
-  spec.label = "SMQ (Tuned)";
-  const bool social = w.name.find("TWITTER") != std::string::npos ||
-                      w.name.find("WEB") != std::string::npos ||
-                      w.name.find("social") != std::string::npos;
+ParamMap tuned_smq_params(const Workload& w) {
+  const bool social = social_graph(w);
+  ParamMap p;
   switch (w.algo) {
     case Algo::kSssp:
-      spec.p_steal = social ? 1.0 / 16 : 1.0 / 4;
-      spec.steal_size = social ? 64 : 1;
+      p.set("p-steal", social ? "1/16" : "1/4");
+      p.set("steal-size", social ? "64" : "1");
       break;
     case Algo::kBfs:
-      spec.p_steal = social ? 1.0 / 8 : 1.0 / 4;
-      spec.steal_size = social ? 32 : 1;
+      p.set("p-steal", social ? "1/8" : "1/4");
+      p.set("steal-size", social ? "32" : "1");
       break;
     case Algo::kAstar:
-      spec.p_steal = 1.0 / 8;
-      spec.steal_size = 2;
+      p.set("p-steal", "1/8");
+      p.set("steal-size", "2");
       break;
     case Algo::kMst:
-      spec.p_steal = 1.0 / 32;
-      spec.steal_size = 64;
+      p.set("p-steal", "1/32");
+      p.set("steal-size", "64");
       break;
   }
-  return spec;
+  return p;
 }
 
 /// Per-workload OBIM/PMOD delta (paper: tuned per benchmark, Appendix B).
 /// Social graphs have short distance ranges (uniform weights in [0,255]
 /// over ~5 hops) and want fine deltas; road graphs have deep ranges.
-unsigned tuned_delta_shift(const Workload& w) {
-  const bool social = w.name.find("TWITTER") != std::string::npos ||
-                      w.name.find("WEB") != std::string::npos ||
-                      w.name.find("social") != std::string::npos;
+std::string tuned_delta_shift(const Workload& w) {
+  const bool social = social_graph(w);
   switch (w.algo) {
-    case Algo::kSssp: return social ? 4 : 8;
-    case Algo::kBfs: return 0;   // levels are already coarse
-    case Algo::kAstar: return 8;
-    case Algo::kMst: return 2;   // degree priorities are small
+    case Algo::kSssp: return social ? "4" : "8";
+    case Algo::kBfs: return "0";   // levels are already coarse
+    case Algo::kAstar: return "8";
+    case Algo::kMst: return "2";   // degree priorities are small
   }
-  return 8;
+  return "8";
 }
 
-std::vector<SchedulerSpec> contenders(const Workload& w,
-                                      unsigned max_threads) {
-  std::vector<SchedulerSpec> specs;
-  specs.push_back(tuned_smq(w));
+struct Contender {
+  std::string label;
+  std::string sched;  // registry key
+  ParamMap params;
+};
 
-  SchedulerSpec smq_default;
-  smq_default.kind = SchedKind::kSmqHeap;
-  smq_default.label = "SMQ (Default)";
-  smq_default.steal_size = 4;
-  smq_default.p_steal = 1.0 / 8;
-  smq_default.numa_nodes = max_threads >= 4 ? 2 : 0;  // K=8 default
-  smq_default.numa_k = 8.0;
-  specs.push_back(smq_default);
+/// One contender per registered multi-threaded scheduler, with
+/// paper-tuned parameters where the paper tunes them, plus the tuned SMQ
+/// as an extra entry.
+std::vector<Contender> contenders(const Workload& w, unsigned max_threads) {
+  std::vector<Contender> all;
+  all.push_back({"SMQ (Tuned)", "smq", tuned_smq_params(w)});
 
-  SchedulerSpec smq_skip;
-  smq_skip.kind = SchedKind::kSmqSkipList;
-  smq_skip.label = "SMQ (skip-list)";
-  specs.push_back(smq_skip);
-
-  SchedulerSpec mq_opt;
-  mq_opt.kind = SchedKind::kOptimizedMq;
-  mq_opt.label = "MQ Optimized NUMA";
-  mq_opt.insert_policy = InsertPolicy::kBatching;
-  mq_opt.insert_batch = 16;
-  mq_opt.delete_policy = DeletePolicy::kBatching;
-  mq_opt.delete_batch = 16;
-  mq_opt.numa_nodes = max_threads >= 4 ? 2 : 0;
-  mq_opt.numa_k = 8.0;
-  specs.push_back(mq_opt);
-
-  SchedulerSpec obim;
-  obim.kind = SchedKind::kObim;
-  obim.delta_shift = tuned_delta_shift(w);
-  obim.chunk_size = 64;
-  specs.push_back(obim);
-
-  SchedulerSpec pmod;
-  pmod.kind = SchedKind::kPmod;
-  pmod.delta_shift = tuned_delta_shift(w);
-  pmod.chunk_size = 64;
-  specs.push_back(pmod);
-
-  SchedulerSpec reld;
-  reld.kind = SchedKind::kReld;
-  specs.push_back(reld);
-
-  SchedulerSpec spray;
-  spray.kind = SchedKind::kSprayList;
-  specs.push_back(spray);
-  return specs;
+  const std::string numa_spec =
+      max_threads >= 4 ? "nodes=2,k=8" : "";
+  for (const SchedulerEntry& entry : SchedulerRegistry::instance().entries()) {
+    if (entry.max_threads == 1) continue;  // baselines run separately
+    Contender c;
+    c.label = entry.name;
+    c.sched = entry.name;
+    if (entry.name == "smq") {
+      c.label = "smq (default)";
+      if (!numa_spec.empty()) c.params.set("numa", numa_spec);
+    } else if (entry.name == "mq-opt") {
+      if (!numa_spec.empty()) c.params.set("numa", numa_spec);
+    } else if (entry.name == "obim" || entry.name == "pmod") {
+      c.params.set("delta-shift", tuned_delta_shift(w));
+      c.params.set("chunk-size", "64");
+    }
+    all.push_back(std::move(c));
+  }
+  return all;
 }
 
 }  // namespace
@@ -141,10 +125,10 @@ int main(int argc, char** argv) {
 
   for (Workload& w : workloads) {
     // The paper's Figure 2 baseline: classic MQ on a single thread.
-    SchedulerSpec base_spec;
-    base_spec.kind = SchedKind::kClassicMq;
-    base_spec.mq_c = 4;
-    const Measurement base = run_measurement(w, base_spec, 1, opts.repetitions);
+    ParamMap base_params;
+    base_params.set("c", "4");
+    const Measurement base =
+        run_registry_measurement(w, "mq", base_params, 1, opts.repetitions);
     std::cout << w.name << "  (baseline: 1-thread MQ "
               << TablePrinter::fmt(base.seconds * 1e3) << " ms)\n";
 
@@ -155,10 +139,11 @@ int main(int argc, char** argv) {
     }
     TablePrinter table(std::move(headers));
 
-    for (SchedulerSpec spec : contenders(w, opts.max_threads)) {
-      std::vector<std::string> row{spec.display_name()};
+    for (const Contender& c : contenders(w, opts.max_threads)) {
+      std::vector<std::string> row{c.label};
       for (unsigned t : threads) {
-        const Measurement m = run_measurement(w, spec, t, opts.repetitions);
+        const Measurement m =
+            run_registry_measurement(w, c.sched, c.params, t, opts.repetitions);
         const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0;
         row.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
         row.push_back(TablePrinter::fmt(m.work_increase));

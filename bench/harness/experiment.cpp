@@ -1,19 +1,11 @@
 #include "harness/experiment.h"
 
-#include <optional>
+#include <algorithm>
+#include <stdexcept>
 
-#include "algorithms/astar.h"
-#include "algorithms/bfs.h"
-#include "algorithms/boruvka.h"
-#include "algorithms/sssp.h"
-#include "core/stealing_multiqueue.h"
-#include "queues/classic_multiqueue.h"
-#include "queues/obim.h"
-#include "queues/reld.h"
-#include "queues/sequential_scheduler.h"
-#include "queues/skiplist.h"
-#include "queues/spraylist.h"
-#include "sched/topology.h"
+#include "registry/algorithm_registry.h"
+#include "registry/graph_registry.h"
+#include "registry/scheduler_registry.h"
 
 namespace smq::bench {
 
@@ -32,142 +24,131 @@ std::string sched_name(SchedKind kind) {
   return "?";
 }
 
+std::string registry_key(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kSequential: return "sequential";
+    case SchedKind::kClassicMq: return "mq";
+    case SchedKind::kOptimizedMq: return "mq-opt";
+    case SchedKind::kReld: return "reld";
+    case SchedKind::kSprayList: return "spraylist";
+    case SchedKind::kObim: return "obim";
+    case SchedKind::kPmod: return "pmod";
+    case SchedKind::kSmqHeap: return "smq";
+    case SchedKind::kSmqSkipList: return "smq-skiplist";
+  }
+  return "?";
+}
+
 std::string SchedulerSpec::display_name() const {
   return label.empty() ? sched_name(kind) : label;
 }
 
-namespace {
-
-/// Run the workload's algorithm through an already-built scheduler.
-template <typename Sched>
-std::pair<RunResult, std::uint64_t> run_algo(Workload& w, Sched& sched,
-                                             unsigned threads) {
-  switch (w.algo) {
-    case Algo::kSssp: {
-      ShortestPathResult r = parallel_sssp(*w.graph, w.source, sched, threads);
-      std::uint64_t checksum = 0;
-      for (const std::uint64_t d : r.distances) {
-        if (d != DistanceArray::kUnreached) checksum += d;
-      }
-      return {r.run, checksum};
-    }
-    case Algo::kBfs: {
-      ShortestPathResult r = parallel_bfs(*w.graph, w.source, sched, threads);
-      std::uint64_t checksum = 0;
-      for (const std::uint64_t d : r.distances) {
-        if (d != DistanceArray::kUnreached) checksum += d;
-      }
-      return {r.run, checksum};
-    }
-    case Algo::kAstar: {
-      AStarResult r = parallel_astar(*w.graph, w.source, w.target, sched,
-                                     threads, w.weight_scale);
-      return {r.run, r.distance};
-    }
-    case Algo::kMst: {
-      MstResult r = parallel_boruvka(*w.graph, sched, threads);
-      return {r.run, r.total_weight};
-    }
+ParamMap SchedulerSpec::to_params() const {
+  ParamMap params;
+  params.set("seed", std::to_string(seed));
+  switch (kind) {
+    case SchedKind::kSequential:
+      break;
+    case SchedKind::kClassicMq:
+      params.set("c", std::to_string(mq_c));
+      break;
+    case SchedKind::kOptimizedMq:
+      params.set("c", std::to_string(mq_c));
+      params.set("insert-policy",
+                 insert_policy == InsertPolicy::kBatching ? "batch" : "local");
+      params.set("delete-policy",
+                 delete_policy == DeletePolicy::kBatching ? "batch" : "local");
+      params.set("insert-batch", std::to_string(insert_batch));
+      params.set("delete-batch", std::to_string(delete_batch));
+      params.set("p-insert", std::to_string(p_insert_change));
+      params.set("p-delete", std::to_string(p_delete_change));
+      break;
+    case SchedKind::kReld:
+      break;
+    case SchedKind::kSprayList:
+      break;
+    case SchedKind::kObim:
+    case SchedKind::kPmod:
+      params.set("chunk-size", std::to_string(chunk_size));
+      params.set("delta-shift", std::to_string(delta_shift));
+      break;
+    case SchedKind::kSmqHeap:
+    case SchedKind::kSmqSkipList:
+      params.set("steal-size", std::to_string(steal_size));
+      params.set("p-steal", std::to_string(p_steal));
+      break;
   }
-  return {};
+  if (numa_nodes > 1) {
+    params.set("numa", "nodes=" + std::to_string(numa_nodes) +
+                           ",k=" + std::to_string(numa_k));
+  }
+  return params;
 }
 
-/// Build the scheduler named by `spec` and run once.
-std::pair<RunResult, std::uint64_t> run_once(Workload& w,
-                                             const SchedulerSpec& spec,
-                                             unsigned threads,
-                                             const Topology* topo) {
-  switch (spec.kind) {
-    case SchedKind::kSequential: {
-      SequentialScheduler sched;
-      return run_algo(w, sched, 1);
-    }
-    case SchedKind::kClassicMq: {
-      ClassicMultiQueue sched(
-          threads, {.queue_multiplier = spec.mq_c,
-                    .seed = spec.seed,
-                    .topology = topo,
-                    .numa_weight_k = spec.numa_k});
-      return run_algo(w, sched, threads);
-    }
-    case SchedKind::kOptimizedMq: {
-      OptimizedMultiQueue sched(
-          threads, {.queue_multiplier = spec.mq_c,
-                    .insert_policy = spec.insert_policy,
-                    .delete_policy = spec.delete_policy,
-                    .p_insert_change = spec.p_insert_change,
-                    .p_delete_change = spec.p_delete_change,
-                    .insert_batch = spec.insert_batch,
-                    .delete_batch = spec.delete_batch,
-                    .seed = spec.seed,
-                    .topology = topo,
-                    .numa_weight_k = spec.numa_k});
-      return run_algo(w, sched, threads);
-    }
-    case SchedKind::kReld: {
-      ReldQueue sched(threads, {.seed = spec.seed});
-      return run_algo(w, sched, threads);
-    }
-    case SchedKind::kSprayList: {
-      SprayList sched(threads, {.seed = spec.seed});
-      return run_algo(w, sched, threads);
-    }
-    case SchedKind::kObim: {
-      Obim sched(threads, {.chunk_size = spec.chunk_size,
-                           .delta_shift = spec.delta_shift,
-                           .topology = topo});
-      return run_algo(w, sched, threads);
-    }
-    case SchedKind::kPmod: {
-      Pmod sched(threads, {.chunk_size = spec.chunk_size,
-                           .delta_shift = spec.delta_shift,
-                           .topology = topo});
-      return run_algo(w, sched, threads);
-    }
-    case SchedKind::kSmqHeap: {
-      StealingMultiQueue<DAryHeap<Task, 4>> sched(
-          threads, {.steal_size = spec.steal_size,
-                    .p_steal = spec.p_steal,
-                    .seed = spec.seed,
-                    .topology = topo,
-                    .numa_weight_k = spec.numa_k});
-      return run_algo(w, sched, threads);
-    }
-    case SchedKind::kSmqSkipList: {
-      StealingMultiQueue<SequentialSkipList> sched(
-          threads, {.steal_size = spec.steal_size,
-                    .p_steal = spec.p_steal,
-                    .seed = spec.seed,
-                    .topology = topo,
-                    .numa_weight_k = spec.numa_k});
-      return run_algo(w, sched, threads);
-    }
+namespace {
+
+/// The AlgorithmRegistry key for a workload's algorithm.
+std::string algo_key(Algo algo) {
+  switch (algo) {
+    case Algo::kSssp: return "sssp";
+    case Algo::kBfs: return "bfs";
+    case Algo::kAstar: return "astar";
+    case Algo::kMst: return "boruvka";
   }
-  return {};
+  return "?";
+}
+
+/// View a bench workload as the registry's graph-instance shape.
+GraphInstance as_instance(const Workload& w) {
+  GraphInstance inst;
+  inst.graph = w.graph;
+  inst.name = w.name;
+  inst.default_source = w.source;
+  inst.default_target = w.target;
+  inst.weight_scale = w.weight_scale;
+  return inst;
 }
 
 }  // namespace
 
-Measurement run_measurement(Workload& w, const SchedulerSpec& spec,
-                            unsigned threads, int repetitions) {
+Measurement run_registry_measurement(Workload& w, const std::string& sched,
+                                     const ParamMap& params, unsigned threads,
+                                     int repetitions) {
   prepare_reference(w);
-  std::optional<Topology> topo;
-  if (spec.numa_nodes > 1) topo.emplace(threads, spec.numa_nodes);
+
+  const SchedulerEntry* entry = SchedulerRegistry::instance().find(sched);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown scheduler: " + sched);
+  }
+  const AlgorithmEntry* algo =
+      AlgorithmRegistry::instance().find(algo_key(w.algo));
+  if (algo == nullptr) {
+    throw std::invalid_argument("unknown algorithm: " + algo_key(w.algo));
+  }
+  const unsigned run_threads = effective_threads(*entry, threads);
+  const GraphInstance instance = as_instance(w);
 
   Measurement best;
   for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
-    auto [run, answer] =
-        run_once(w, spec, threads, topo ? &*topo : nullptr);
+    AnyScheduler scheduler = entry->make(run_threads, params);
+    const AlgoResult result =
+        algo->run(instance, scheduler, run_threads, params, nullptr);
     Measurement m;
-    m.seconds = run.seconds;
-    m.tasks = run.stats.pops;
-    m.work_increase = run.work_increase(w.reference_tasks);
+    m.seconds = result.run.seconds;
+    m.tasks = result.run.stats.pops;
+    m.work_increase = result.run.work_increase(w.reference_tasks);
     m.speedup_vs_seq =
-        run.seconds > 0 ? w.reference_seconds / run.seconds : 0;
-    m.valid = answer == w.reference_answer;
+        result.run.seconds > 0 ? w.reference_seconds / result.run.seconds : 0;
+    m.valid = result.answer == w.reference_answer;
     if (!best.valid || (m.valid && m.seconds < best.seconds)) best = m;
   }
   return best;
+}
+
+Measurement run_measurement(Workload& w, const SchedulerSpec& spec,
+                            unsigned threads, int repetitions) {
+  return run_registry_measurement(w, registry_key(spec.kind), spec.to_params(),
+                                  threads, repetitions);
 }
 
 }  // namespace smq::bench

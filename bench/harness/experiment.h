@@ -1,9 +1,11 @@
 // Experiment runner: (workload, scheduler spec, thread count) -> metrics.
 //
 // Every bench binary expresses its table/figure as a sweep over
-// SchedulerSpec values and calls run_measurement(); the scheduler
-// template dispatch and result validation live here, in one translation
-// unit, so the bench sources stay declarative.
+// SchedulerSpec values and calls run_measurement(). Scheduler
+// construction and algorithm dispatch go through the registry subsystem
+// (src/registry/), so the bench sources stay declarative and no bench
+// hand-lists template instantiations; SchedulerSpec survives as a thin
+// typed veneer over a registry (name, ParamMap) pair.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,7 @@
 
 #include "harness/workloads.h"
 #include "queues/mq_variants.h"
+#include "registry/params.h"
 
 namespace smq::bench {
 
@@ -27,6 +30,9 @@ enum class SchedKind {
 };
 
 std::string sched_name(SchedKind kind);
+
+/// The SchedulerRegistry key this kind dispatches to.
+std::string registry_key(SchedKind kind);
 
 struct SchedulerSpec {
   SchedKind kind = SchedKind::kSmqHeap;
@@ -56,6 +62,9 @@ struct SchedulerSpec {
   std::uint64_t seed = 1;
 
   std::string display_name() const;
+
+  /// Lower the typed fields into registry tunables for registry_key(kind).
+  ParamMap to_params() const;
 };
 
 struct Measurement {
@@ -71,5 +80,13 @@ struct Measurement {
 /// prepare_reference() on the workload if needed.
 Measurement run_measurement(Workload& workload, const SchedulerSpec& spec,
                             unsigned threads, int repetitions = 1);
+
+/// Registry-native entry point: run `workload` under the scheduler
+/// registered as `sched` configured by `params`. Benches that enumerate
+/// the registry directly (rather than via SchedKind) use this.
+Measurement run_registry_measurement(Workload& workload,
+                                     const std::string& sched,
+                                     const ParamMap& params, unsigned threads,
+                                     int repetitions = 1);
 
 }  // namespace smq::bench

@@ -1,19 +1,29 @@
-// Quickstart: build a tiny weighted graph, run parallel SSSP under the
-// Stealing Multi-Queue, and print the distances.
+// Quickstart: build a tiny weighted graph, pick a scheduler from the
+// registry by name, run parallel SSSP, and print the distances.
 //
-//   ./examples/quickstart [--threads N]
+//   ./examples/quickstart [--threads N] [--sched NAME] [--list]
+//
+// --list prints every registered scheduler/algorithm/graph source with
+// its tunables (the same listing as `smq_run --list`).
 #include <cstdio>
+#include <iostream>
 
 #include "algorithms/sssp.h"
-#include "core/stealing_multiqueue.h"
 #include "graph/graph.h"
+#include "registry/listing.h"
+#include "registry/scheduler_registry.h"
 #include "support/cli.h"
 
 int main(int argc, char** argv) {
   using namespace smq;
   const ArgParser args(argc, argv);
+  if (args.has_flag("list")) {
+    print_registry_listing(std::cout);
+    return 0;
+  }
   const unsigned threads =
       static_cast<unsigned>(args.get_int("threads", 4));
+  const std::string sched_name = args.get("sched", "smq");
 
   //      1 --2-- 3
   //     /|       |
@@ -24,14 +34,25 @@ int main(int argc, char** argv) {
       5, {{0, 1, 1}, {1, 0, 1}, {0, 2, 4}, {2, 0, 4}, {1, 2, 4}, {2, 1, 4},
           {1, 3, 2}, {3, 1, 2}, {2, 4, 7}, {4, 2, 7}, {3, 4, 1}, {4, 3, 1}});
 
-  // The scheduler: one local priority queue per thread, stealing batches
-  // of up to 4 tasks with probability 1/8 (the paper's defaults).
-  StealingMultiQueue<> scheduler(threads, {.steal_size = 4, .p_steal = 0.125});
+  // Any registered scheduler works here; "smq" is the paper's Stealing
+  // Multi-Queue with its default tuning (steal batches of 4, p=1/8).
+  // Tunables come from the command line: --steal-size 4 --p-steal 1/8.
+  AnyScheduler scheduler;
+  try {
+    scheduler = SchedulerRegistry::instance().create(
+        sched_name, threads, ParamMap::from_args(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s (try --list)\n", e.what());
+    return 2;
+  }
 
+  // Single-threaded baselines clamp the pool (e.g. --sched sequential).
+  const unsigned run_threads = scheduler.num_threads();
   const ShortestPathResult result =
-      parallel_sssp(graph, /*source=*/0, scheduler, threads);
+      parallel_sssp(graph, /*source=*/0, scheduler, run_threads);
 
-  std::printf("SSSP from vertex 0 on %u threads:\n", threads);
+  std::printf("SSSP from vertex 0 under '%s' on %u threads:\n",
+              sched_name.c_str(), run_threads);
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     std::printf("  dist(%u) = %llu\n", v,
                 static_cast<unsigned long long>(result.distances[v]));

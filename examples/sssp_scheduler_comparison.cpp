@@ -1,34 +1,16 @@
-// Scheduler shoot-out on a road-style graph: runs SSSP under each
-// scheduler family and reports wall time, executed tasks, and wasted
-// work — a miniature of the paper's Figure 2.
+// Scheduler shoot-out on a road-style graph: runs SSSP under *every*
+// scheduler in the registry and reports wall time, executed tasks, and
+// wasted work — a miniature of the paper's Figure 2 from one binary,
+// with no compile-time scheduler list.
 //
 //   ./examples/sssp_scheduler_comparison [--vertices N] [--threads T]
+//       [--sched name,name,...]
 #include <iostream>
 
 #include "algorithms/sssp.h"
-#include "core/stealing_multiqueue.h"
 #include "graph/generators.h"
-#include "queues/classic_multiqueue.h"
-#include "queues/obim.h"
-#include "queues/reld.h"
-#include "queues/spraylist.h"
+#include "registry/scheduler_registry.h"
 #include "support/cli.h"
-#include "support/timer.h"
-
-namespace {
-
-struct Row {
-  std::string name;
-  smq::ShortestPathResult result;
-};
-
-template <typename Sched>
-Row run(const std::string& name, const smq::Graph& graph, Sched&& sched,
-        unsigned threads) {
-  return Row{name, smq::parallel_sssp(graph, 0, sched, threads)};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace smq;
@@ -36,6 +18,7 @@ int main(int argc, char** argv) {
   const auto vertices =
       static_cast<VertexId>(args.get_int("vertices", 40000));
   const unsigned threads = static_cast<unsigned>(args.get_int("threads", 4));
+  const ParamMap params = ParamMap::from_args(args);
 
   std::cout << "Generating road-like graph with ~" << vertices
             << " vertices...\n";
@@ -44,41 +27,54 @@ int main(int argc, char** argv) {
   std::cout << graph.num_vertices() << " vertices, " << graph.num_edges()
             << " arcs; " << ref.settled << " reachable.\n\n";
 
-  std::vector<Row> rows;
-  rows.push_back(run("SMQ (heap)", graph,
-                     StealingMultiQueue<>(threads, {.steal_size = 4,
-                                                    .p_steal = 0.125}),
-                     threads));
-  rows.push_back(
-      run("Classic MQ (C=4)", graph, ClassicMultiQueue(threads, {}), threads));
-  rows.push_back(run("OBIM", graph,
-                     Obim(threads, {.chunk_size = 64, .delta_shift = 10}),
-                     threads));
-  rows.push_back(run("PMOD", graph,
-                     Pmod(threads, {.chunk_size = 64, .delta_shift = 10}),
-                     threads));
-  rows.push_back(run("RELD", graph, ReldQueue(threads, {}), threads));
-  rows.push_back(run("SprayList", graph, SprayList(threads, {}), threads));
+  // Optional subset: --sched name,name,... (default: every entry).
+  const std::string sched_filter = args.get("sched");
+  auto selected = [&](const std::string& name) {
+    if (sched_filter.empty()) return true;
+    for (std::size_t pos = 0; pos < sched_filter.size();) {
+      std::size_t comma = sched_filter.find(',', pos);
+      if (comma == std::string::npos) comma = sched_filter.size();
+      if (sched_filter.compare(pos, comma - pos, name) == 0) return true;
+      pos = comma + 1;
+    }
+    return false;
+  };
 
-  TablePrinter table({"scheduler", "time ms", "tasks", "work increase",
-                      "wasted tasks"});
-  for (const Row& row : rows) {
+  TablePrinter table({"scheduler", "threads", "time ms", "tasks",
+                      "work increase", "wasted tasks"});
+  const SchedulerRegistry& registry = SchedulerRegistry::instance();
+  std::size_t ran = 0;
+  for (const SchedulerEntry& entry : registry.entries()) {
+    if (!selected(entry.name)) continue;
+    ++ran;
+    const unsigned run_threads = effective_threads(entry, threads);
+    AnyScheduler sched = entry.make(run_threads, params);
+    const ShortestPathResult result =
+        parallel_sssp(graph, 0, sched, run_threads);
+
     // Sanity: every scheduler must produce the exact distances.
     std::uint64_t mismatches = 0;
     for (std::size_t v = 0; v < ref.distances.size(); ++v) {
-      mismatches += row.result.distances[v] != ref.distances[v];
+      mismatches += result.distances[v] != ref.distances[v];
     }
     if (mismatches != 0) {
-      std::cerr << row.name << ": WRONG RESULT (" << mismatches
+      std::cerr << entry.name << ": WRONG RESULT (" << mismatches
                 << " mismatches)\n";
       return 1;
     }
-    table.add_row({row.name, TablePrinter::fmt(row.result.run.seconds * 1e3),
-                   std::to_string(row.result.run.stats.pops),
-                   TablePrinter::fmt(row.result.run.work_increase(ref.settled)),
-                   std::to_string(row.result.run.stats.wasted)});
+    table.add_row({entry.name, std::to_string(run_threads),
+                   TablePrinter::fmt(result.run.seconds * 1e3),
+                   std::to_string(result.run.stats.pops),
+                   TablePrinter::fmt(result.run.work_increase(ref.settled)),
+                   std::to_string(result.run.stats.wasted)});
+  }
+  if (ran == 0) {
+    std::cerr << "no scheduler matches --sched " << sched_filter
+              << " (names: see smq_run --list)\n";
+    return 2;
   }
   table.print(std::cout);
-  std::cout << "\nAll schedulers returned exact distances.\n";
+  std::cout << "\nAll " << ran
+            << " selected schedulers returned exact distances.\n";
   return 0;
 }

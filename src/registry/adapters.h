@@ -1,0 +1,167 @@
+// Scheduler adapters for substrates that are not schedulers by
+// themselves. These give the registry its exact and priority-oblivious
+// anchor points:
+//
+//  * GlobalHeapScheduler — one spinlock-protected d-ary heap shared by
+//    all threads: the strict (non-relaxed) concurrent PQ whose
+//    delete-min bottleneck motivates the whole relaxed-scheduler line of
+//    work (paper Section 1).
+//  * GlobalSkipListScheduler — exact delete-min over the lock-free skip
+//    list, i.e. SprayList with the spray removed (Figure 1's "try to
+//    remove the minimum" baseline).
+//  * ChunkBagScheduler — a single unordered chunk bag: maximal
+//    throughput, zero rank quality, the far anchor for the wasted-work
+//    metric.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "queues/chunk_bag.h"
+#include "queues/d_ary_heap.h"
+#include "queues/lockfree_skiplist.h"
+#include "sched/task.h"
+#include "support/padding.h"
+#include "support/rng.h"
+#include "support/spinlock.h"
+
+namespace smq {
+
+/// One global lock around one sequential d-ary heap.
+class GlobalHeapScheduler {
+ public:
+  explicit GlobalHeapScheduler(unsigned num_threads)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+
+  void push(unsigned /*tid*/, Task task) {
+    lock_.lock();
+    heap_.push(task);
+    lock_.unlock();
+  }
+
+  std::optional<Task> try_pop(unsigned /*tid*/) {
+    lock_.lock();
+    std::optional<Task> task = heap_.try_pop();
+    lock_.unlock();
+    return task;
+  }
+
+ private:
+  unsigned num_threads_;
+  Spinlock lock_;
+  DAryHeap<Task, 4> heap_;
+};
+
+struct GlobalSkipListConfig {
+  std::uint64_t seed = 1;
+};
+
+/// Exact concurrent delete-min over the lock-free skip list.
+class GlobalSkipListScheduler {
+ public:
+  using Config = GlobalSkipListConfig;
+
+  explicit GlobalSkipListScheduler(unsigned num_threads, Config cfg = {})
+      : num_threads_(num_threads == 0 ? 1 : num_threads),
+        list_(num_threads_),
+        rngs_(num_threads_) {
+    for (unsigned tid = 0; tid < num_threads_; ++tid) {
+      rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
+    }
+  }
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+
+  void push(unsigned tid, Task task) {
+    list_.insert(tid, task, rngs_[tid].value);
+  }
+
+  std::optional<Task> try_pop(unsigned /*tid*/) { return list_.pop_min(); }
+
+ private:
+  unsigned num_threads_;
+  LockFreeSkipList list_;
+  std::vector<Padded<Xoshiro256>> rngs_;
+};
+
+/// A single unordered ChunkBag shared by all threads (OBIM with exactly
+/// one priority level). Buffers pushes into thread-local chunks, so it is
+/// flushable; pops drain a thread-local chunk taken from the bag.
+struct ChunkBagSchedulerConfig {
+  std::size_t chunk_size = 64;
+};
+
+class ChunkBagScheduler {
+ public:
+  using Config = ChunkBagSchedulerConfig;
+
+  ChunkBagScheduler(unsigned num_threads, Config cfg = {})
+      : num_threads_(num_threads == 0 ? 1 : num_threads),
+        chunk_size_(cfg.chunk_size == 0
+                        ? 1
+                        : (cfg.chunk_size > Chunk::kCapacity ? Chunk::kCapacity
+                                                             : cfg.chunk_size)),
+        bag_(1),
+        locals_(num_threads_) {}
+
+  ~ChunkBagScheduler() {
+    for (auto& local : locals_) {
+      delete local.value.push_chunk;
+      delete local.value.pop_chunk;
+    }
+  }
+
+  ChunkBagScheduler(const ChunkBagScheduler&) = delete;
+  ChunkBagScheduler& operator=(const ChunkBagScheduler&) = delete;
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+
+  void push(unsigned tid, Task task) {
+    Local& local = locals_[tid].value;
+    if (local.push_chunk == nullptr) local.push_chunk = new Chunk();
+    local.push_chunk->push(task);
+    if (local.push_chunk->full(chunk_size_)) {
+      bag_.push_chunk(0, local.push_chunk);
+      local.push_chunk = nullptr;
+    }
+  }
+
+  std::optional<Task> try_pop(unsigned tid) {
+    Local& local = locals_[tid].value;
+    if (local.pop_chunk != nullptr && !local.pop_chunk->empty()) {
+      return local.pop_chunk->pop();
+    }
+    if (Chunk* chunk = bag_.pop_chunk(0)) {
+      delete local.pop_chunk;
+      local.pop_chunk = chunk;
+      return local.pop_chunk->pop();
+    }
+    // Nothing published: fall back to our own unflushed chunk.
+    if (local.push_chunk != nullptr && !local.push_chunk->empty()) {
+      return local.push_chunk->pop();
+    }
+    return std::nullopt;
+  }
+
+  void flush(unsigned tid) {
+    Local& local = locals_[tid].value;
+    if (local.push_chunk == nullptr || local.push_chunk->empty()) return;
+    bag_.push_chunk(0, local.push_chunk);
+    local.push_chunk = nullptr;
+  }
+
+ private:
+  struct Local {
+    Chunk* push_chunk = nullptr;
+    Chunk* pop_chunk = nullptr;
+  };
+
+  unsigned num_threads_;
+  std::size_t chunk_size_;
+  ChunkBag bag_;
+  std::vector<Padded<Local>> locals_;
+};
+
+}  // namespace smq

@@ -1,0 +1,64 @@
+// String-keyed algorithm registry: every parallel workload (sssp, bfs,
+// astar, pagerank, boruvka) behind one run signature that takes a
+// type-erased AnyScheduler. Each entry also knows how to compute its
+// sequential oracle (reference answer + reference task count for the
+// paper's work-increase metric) and how to validate a parallel result
+// against it, so the run driver and the benches share one validation
+// path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "registry/any_scheduler.h"
+#include "registry/graph_registry.h"
+#include "registry/params.h"
+#include "registry/registry.h"
+#include "sched/stats.h"
+
+namespace smq {
+
+/// Sequential-oracle data for one (algorithm, graph, params) triple.
+/// `oracle` is an algorithm-private payload (e.g. the full distance
+/// vector) consumed by the entry's own run() for validation.
+struct AlgoReference {
+  std::uint64_t reference_tasks = 0;   // work-increase denominator
+  std::uint64_t reference_answer = 0;  // display checksum
+  double seconds = 0;                  // sequential wall time
+  std::shared_ptr<const void> oracle;
+};
+
+struct AlgoResult {
+  RunResult run;
+  std::uint64_t answer = 0;  // checksum / distance / forest weight
+  bool validated = false;    // an oracle was supplied and consulted
+  bool valid = false;        // result matched the oracle
+};
+
+struct AlgorithmEntry {
+  std::string name;         // registry key, e.g. "sssp"
+  std::string description;  // one-liner for --list
+  std::vector<Tunable> tunables;
+
+  /// Compute the sequential oracle (exact answer, reference task count).
+  std::function<AlgoReference(const GraphInstance&, const ParamMap&)>
+      make_reference;
+
+  /// Run the parallel algorithm under `sched`; validates against `ref`
+  /// when non-null.
+  std::function<AlgoResult(const GraphInstance&, AnyScheduler& sched,
+                           unsigned threads, const ParamMap&,
+                           const AlgoReference* ref)>
+      run;
+};
+
+class AlgorithmRegistry : public NamedRegistry<AlgorithmEntry> {
+ public:
+  static AlgorithmRegistry& instance();
+};
+
+}  // namespace smq

@@ -1,0 +1,92 @@
+// Type-erased priority scheduler.
+//
+// Every scheduler in this library is a distinct type behind the
+// PriorityScheduler concept, which forces template instantiation at every
+// call site (the seed's benches each hand-listed every scheduler type).
+// AnyScheduler wraps any concrete scheduler behind one virtual interface
+// while itself modelling FlushableScheduler, so Executor and every
+// algorithm template instantiate exactly once for it — runtime scheduler
+// selection with a single indirect call per push/pop. The indirection is
+// uniform across schedulers, which is what a comparison harness needs;
+// perf-critical single-scheduler code can still use static dispatch.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sched/scheduler_traits.h"
+#include "sched/task.h"
+
+namespace smq {
+
+class AnyScheduler {
+ public:
+  AnyScheduler() = default;
+  AnyScheduler(AnyScheduler&&) noexcept = default;
+  AnyScheduler& operator=(AnyScheduler&&) noexcept = default;
+
+  /// Construct a scheduler of type S in place (many schedulers own
+  /// mutexes and are not movable, so erasure must build them directly).
+  template <typename S, typename... Args>
+  static AnyScheduler make(Args&&... args) {
+    AnyScheduler any;
+    any.impl_ = std::make_unique<Model<S>>(std::forward<Args>(args)...);
+    return any;
+  }
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  /// Tie an auxiliary object's lifetime to this scheduler (e.g. the
+  /// Topology a NUMA-aware config points into).
+  void attach(std::shared_ptr<void> dependency) {
+    deps_ = std::move(dependency);
+  }
+
+  // ---- PriorityScheduler / FlushableScheduler interface ---------------
+
+  void push(unsigned tid, Task t) { impl_->push(tid, t); }
+  std::optional<Task> try_pop(unsigned tid) { return impl_->try_pop(tid); }
+  void flush(unsigned tid) { impl_->flush(tid); }
+  unsigned num_threads() const { return impl_->num_threads(); }
+
+  /// Access the concrete scheduler (tests, stat scraping). Returns
+  /// nullptr if the erased type is not S.
+  template <typename S>
+  S* get_if() noexcept {
+    auto* model = dynamic_cast<Model<S>*>(impl_.get());
+    return model == nullptr ? nullptr : &model->sched;
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void push(unsigned tid, Task t) = 0;
+    virtual std::optional<Task> try_pop(unsigned tid) = 0;
+    virtual void flush(unsigned tid) = 0;
+    virtual unsigned num_threads() const = 0;
+  };
+
+  template <PriorityScheduler S>
+  struct Model final : Concept {
+    template <typename... Args>
+    explicit Model(Args&&... args) : sched(std::forward<Args>(args)...) {}
+
+    void push(unsigned tid, Task t) override { sched.push(tid, t); }
+    std::optional<Task> try_pop(unsigned tid) override {
+      return sched.try_pop(tid);
+    }
+    void flush(unsigned tid) override { flush_if_supported(sched, tid); }
+    unsigned num_threads() const override { return sched.num_threads(); }
+
+    S sched;
+  };
+
+  std::unique_ptr<Concept> impl_;
+  std::shared_ptr<void> deps_;
+};
+
+static_assert(FlushableScheduler<AnyScheduler>,
+              "AnyScheduler must model the concept it erases");
+
+}  // namespace smq

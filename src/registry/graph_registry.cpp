@@ -1,0 +1,177 @@
+#include "registry/graph_registry.h"
+
+#include <stdexcept>
+
+#include "graph/binary_io.h"
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+
+namespace smq {
+
+namespace {
+
+GraphInstance wrap(Graph graph, std::string name, double weight_scale = 100.0) {
+  GraphInstance inst;
+  inst.graph = std::make_shared<Graph>(std::move(graph));
+  inst.name = std::move(name);
+  inst.default_source = 0;
+  inst.default_target =
+      inst.graph->num_vertices() == 0 ? 0 : inst.graph->num_vertices() - 1;
+  inst.weight_scale = weight_scale;
+  return inst;
+}
+
+void register_builtins(GraphRegistry& reg) {
+  reg.add({
+      .name = "road",
+      .description = "road-network stand-in: 2D lattice + shortcuts, "
+                     "coordinates for A* (models USA/WEST)",
+      .tunables = {{"vertices", "40000", "approximate vertex count"},
+                   {"seed", "42", "generator seed"},
+                   {"shortcut-fraction", "0.05",
+                    "extra highway edges relative to |V|"}},
+      .make =
+          [](const ParamMap& params) {
+            const auto n =
+                static_cast<VertexId>(params.get_int("vertices", 40000));
+            RoadLikeOptions opts;
+            opts.seed = params.get_uint("seed", 42);
+            opts.shortcut_fraction =
+                params.get_double("shortcut-fraction", 0.05);
+            return wrap(make_road_like(n, opts),
+                        "road(vertices=" + std::to_string(n) + ")",
+                        opts.weight_scale);
+          },
+  });
+
+  reg.add({
+      .name = "rmat",
+      .description = "RMAT power-law directed graph, uniform weights "
+                     "(models TWITTER/WEB)",
+      .tunables = {{"scale", "14", "2^scale vertices"},
+                   {"edge-factor", "16", "edges per vertex"},
+                   {"seed", "42", "generator seed"},
+                   {"max-weight", "255", "uniform weights in [0, max]"}},
+      .make =
+          [](const ParamMap& params) {
+            const auto scale =
+                static_cast<unsigned>(params.get_int("scale", 14));
+            RmatOptions opts;
+            opts.seed = params.get_uint("seed", 42);
+            opts.edge_factor =
+                static_cast<unsigned>(params.get_int("edge-factor", 16));
+            opts.max_weight =
+                static_cast<Weight>(params.get_int("max-weight", 255));
+            return wrap(make_rmat(scale, opts),
+                        "rmat(scale=" + std::to_string(scale) + ")");
+          },
+  });
+
+  reg.add({
+      .name = "rand",
+      .description = "uniform random directed multigraph (Erdos-Renyi)",
+      .tunables = {{"vertices", "10000", "vertex count"},
+                   {"edges", "8*vertices", "edge count"},
+                   {"seed", "42", "generator seed"}},
+      .make =
+          [](const ParamMap& params) {
+            const auto n =
+                static_cast<VertexId>(params.get_int("vertices", 10000));
+            const auto m = static_cast<std::size_t>(
+                params.get_int("edges", static_cast<std::int64_t>(n) * 8));
+            return wrap(make_erdos_renyi(n, m, params.get_uint("seed", 42)),
+                        "rand(vertices=" + std::to_string(n) +
+                            ",edges=" + std::to_string(m) + ")");
+          },
+  });
+
+  reg.add({
+      .name = "grid",
+      .description = "exact 2D lattice (known shortest paths)",
+      .tunables = {{"width", "64", "grid width"},
+                   {"height", "64", "grid height"},
+                   {"unit-weights", "1", "1 = all weights 1, 0 = random"},
+                   {"seed", "42", "weight seed"}},
+      .make =
+          [](const ParamMap& params) {
+            const auto w = static_cast<VertexId>(params.get_int("width", 64));
+            const auto h = static_cast<VertexId>(params.get_int("height", 64));
+            const bool unit = params.get_int("unit-weights", 1) != 0;
+            return wrap(make_grid2d(w, h, unit, params.get_uint("seed", 42)),
+                        "grid(" + std::to_string(w) + "x" + std::to_string(h) +
+                            ")");
+          },
+  });
+
+  reg.add({
+      .name = "path",
+      .description = "path graph (worst-case diameter)",
+      .tunables = {{"vertices", "1000", "vertex count"},
+                   {"weight", "1", "uniform edge weight"}},
+      .make =
+          [](const ParamMap& params) {
+            const auto n =
+                static_cast<VertexId>(params.get_int("vertices", 1000));
+            const auto w = static_cast<Weight>(params.get_int("weight", 1));
+            return wrap(make_path(n, w),
+                        "path(vertices=" + std::to_string(n) + ")");
+          },
+  });
+
+  reg.add({
+      .name = "dimacs",
+      .description = "DIMACS .gr file (9th-challenge format), optional "
+                     ".co coordinates",
+      .tunables = {{"file", "", "path to the .gr file (required)"},
+                   {"coords", "", "path to the matching .co file"}},
+      .make =
+          [](const ParamMap& params) {
+            const std::string path = params.get("file");
+            if (path.empty()) {
+              throw std::invalid_argument(
+                  "graph source 'dimacs' requires --file <path.gr>");
+            }
+            Graph graph = load_dimacs_gr(path);
+            const std::string coords = params.get("coords");
+            if (!coords.empty()) load_dimacs_co(coords, graph);
+            return wrap(std::move(graph), "dimacs(" + path + ")");
+          },
+  });
+
+  reg.add({
+      .name = "binary",
+      .description = "binary CSR graph cache (see graph/binary_io.h)",
+      .tunables = {{"file", "", "path to the cached graph (required)"}},
+      .make =
+          [](const ParamMap& params) {
+            const std::string path = params.get("file");
+            if (path.empty()) {
+              throw std::invalid_argument(
+                  "graph source 'binary' requires --file <path>");
+            }
+            return wrap(load_binary_graph(path), "binary(" + path + ")");
+          },
+  });
+}
+
+}  // namespace
+
+GraphRegistry& GraphRegistry::instance() {
+  static GraphRegistry* reg = [] {
+    auto* r = new GraphRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+GraphInstance GraphRegistry::create(std::string_view name,
+                                    const ParamMap& params) const {
+  const GraphSourceEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown graph source: " + std::string(name));
+  }
+  return entry->make(params);
+}
+
+}  // namespace smq

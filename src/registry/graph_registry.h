@@ -1,0 +1,44 @@
+// String-keyed graph-source registry: synthetic generators (road, rmat,
+// rand, grid, path) plus file loaders (DIMACS .gr/.co text, binary CSR
+// cache). A source turns a ParamMap into a GraphInstance — the graph
+// itself plus the defaults an algorithm needs (source/target vertices,
+// the A* heuristic scale).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "registry/params.h"
+#include "registry/registry.h"
+
+namespace smq {
+
+struct GraphInstance {
+  std::shared_ptr<const Graph> graph;
+  std::string name;            // resolved, e.g. "road(vertices=40000)"
+  VertexId default_source = 0;
+  VertexId default_target = 0;  // A*: defaults to the last vertex
+  double weight_scale = 100.0;  // A* heuristic scale (road generator's)
+};
+
+struct GraphSourceEntry {
+  std::string name;         // registry key, e.g. "road"
+  std::string description;  // one-liner for --list
+  std::vector<Tunable> tunables;
+  std::function<GraphInstance(const ParamMap&)> make;
+};
+
+class GraphRegistry : public NamedRegistry<GraphSourceEntry> {
+ public:
+  static GraphRegistry& instance();
+
+  /// Build the graph named by `name`. Throws std::invalid_argument on an
+  /// unknown source; file sources throw std::runtime_error on bad input.
+  GraphInstance create(std::string_view name, const ParamMap& params = {}) const;
+};
+
+}  // namespace smq

@@ -1,0 +1,40 @@
+// Shared machinery of the string-keyed registries: an ordered list of
+// entries addressed by their `name` field. Registration order is
+// preserved so listings and sweeps are deterministic. Lookup is a
+// linear scan — registries hold a dozen entries, and the factories they
+// return do all the real work.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smq {
+
+template <typename Entry>
+class NamedRegistry {
+ public:
+  void add(Entry entry) { entries_.push_back(std::move(entry)); }
+
+  const Entry* find(std::string_view name) const {
+    for (const Entry& entry : entries_) {
+      if (entry.name == name) return &entry;
+    }
+    return nullptr;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& entry : entries_) out.push_back(entry.name);
+    return out;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace smq

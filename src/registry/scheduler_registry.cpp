@@ -1,0 +1,358 @@
+#include "registry/scheduler_registry.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/stealing_multiqueue.h"
+#include "queues/classic_multiqueue.h"
+#include "queues/mq_variants.h"
+#include "queues/obim.h"
+#include "queues/reld.h"
+#include "queues/sequential_scheduler.h"
+#include "queues/skiplist.h"
+#include "queues/spraylist.h"
+#include "registry/adapters.h"
+#include "sched/topology.h"
+#include "support/cli.h"
+
+namespace smq {
+
+ParamMap ParamMap::from_args(const ArgParser& args) {
+  ParamMap params;
+  for (const auto& [key, value] : args.options()) params.set(key, value);
+  return params;
+}
+
+namespace {
+
+/// NUMA options accepted in three spellings: "--numa 2" (node count),
+/// "--numa nodes=2,k=8", "--numa k=8" (implies 2 nodes), plus the
+/// separate "--numa-k 8". Simulated topology, see sched/topology.h.
+struct NumaOptions {
+  unsigned nodes = 0;
+  double k = 1.0;
+};
+
+NumaOptions parse_numa(const ParamMap& params, unsigned threads,
+                       double default_k) {
+  NumaOptions numa;
+  bool k_given = false;  // explicit K (even K=1) must never be overridden
+  const std::string spec = params.get("numa");
+  for (std::size_t pos = 0; pos < spec.size();) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+    if (const auto eq = part.find('='); eq != std::string::npos) {
+      const std::string key = part.substr(0, eq);
+      const double value = std::strtod(part.substr(eq + 1).c_str(), nullptr);
+      if (key == "nodes") numa.nodes = static_cast<unsigned>(value);
+      if (key == "k") {
+        numa.k = value;
+        k_given = true;
+      }
+    } else {
+      numa.nodes = static_cast<unsigned>(std::strtoul(part.c_str(), nullptr, 10));
+    }
+  }
+  if (params.has("numa-k")) {
+    numa.k = params.get_double("numa-k", numa.k);
+    k_given = true;
+  }
+  if (numa.k <= 0) numa.k = 1.0;
+  // "--numa k=8" alone asks for weighted sampling without a node count.
+  if (numa.nodes == 0 && numa.k > 1.0) numa.nodes = 2;
+  if (!k_given && numa.nodes > 1) numa.k = default_k;
+  numa.nodes = std::min(numa.nodes, threads);
+  return numa;
+}
+
+/// Build the simulated topology when requested and tie its lifetime to
+/// the scheduler (configs hold a raw pointer into it).
+std::shared_ptr<Topology> make_topology(const NumaOptions& numa,
+                                        unsigned threads) {
+  if (numa.nodes <= 1) return nullptr;
+  return std::make_shared<Topology>(threads, numa.nodes);
+}
+
+const std::vector<Tunable> kNumaTunables = {
+    {"numa", "0", "virtual NUMA nodes: \"2\", \"nodes=2,k=8\" or \"k=8\""},
+    {"numa-k", "", "remote-queue sampling weight divisor K"},
+};
+
+void append(std::vector<Tunable>& dst, const std::vector<Tunable>& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+template <typename LocalPQ>
+AnyScheduler make_smq(unsigned threads, const ParamMap& params) {
+  const NumaOptions numa = parse_numa(params, threads, /*default_k=*/8.0);
+  auto topo = make_topology(numa, threads);
+  SmqConfig cfg;
+  cfg.steal_size = static_cast<std::size_t>(params.get_int("steal-size", 4));
+  cfg.p_steal = params.get_probability("p-steal", 1.0 / 8.0);
+  cfg.seed = params.get_uint("seed", 1);
+  cfg.topology = topo.get();
+  cfg.numa_weight_k = numa.k;
+  auto any =
+      AnyScheduler::make<StealingMultiQueue<LocalPQ>>(threads, cfg);
+  if (topo) any.attach(std::move(topo));
+  return any;
+}
+
+std::vector<Tunable> smq_tunables() {
+  std::vector<Tunable> t = {
+      {"steal-size", "4", "batch size SIZE_steal"},
+      {"p-steal", "1/8", "stealing probability (decimal or fraction)"},
+      {"seed", "1", "RNG seed"},
+  };
+  append(t, kNumaTunables);
+  return t;
+}
+
+void register_builtins(SchedulerRegistry& reg) {
+  reg.add({
+      .name = "smq",
+      .description = "Stealing Multi-Queue, d-ary heap local queues "
+                     "(the paper's contribution)",
+      .tunables = smq_tunables(),
+      .make = make_smq<DAryHeap<Task, 4>>,
+  });
+
+  reg.add({
+      .name = "smq-skiplist",
+      .description = "Stealing Multi-Queue with skip-list local queues "
+                     "(Appendix D)",
+      .tunables = smq_tunables(),
+      .make = make_smq<SequentialSkipList>,
+  });
+
+  {
+    std::vector<Tunable> t = {
+        {"c", "4", "queues per thread (m = C*T)"},
+        {"seed", "1", "RNG seed"},
+    };
+    append(t, kNumaTunables);
+    reg.add({
+        .name = "mq",
+        .description = "classic Multi-Queue (Rihani et al.; paper Listing 1)",
+        .tunables = std::move(t),
+        .make =
+            [](unsigned threads, const ParamMap& params) {
+              const NumaOptions numa = parse_numa(params, threads, 8.0);
+              auto topo = make_topology(numa, threads);
+              ClassicMqConfig cfg;
+              cfg.queue_multiplier =
+                  static_cast<unsigned>(params.get_int("c", 4));
+              cfg.seed = params.get_uint("seed", 1);
+              cfg.topology = topo.get();
+              cfg.numa_weight_k = numa.k;
+              auto any = AnyScheduler::make<ClassicMultiQueue>(threads, cfg);
+              if (topo) any.attach(std::move(topo));
+              return any;
+            },
+    });
+  }
+
+  {
+    std::vector<Tunable> t = {
+        {"c", "4", "queues per thread"},
+        {"insert-policy", "batch", "\"batch\" or \"local\" (temporal locality)"},
+        {"delete-policy", "batch", "\"batch\" or \"local\""},
+        {"insert-batch", "16", "insert buffer size (batch policy)"},
+        {"delete-batch", "16", "delete batch size (batch policy)"},
+        {"p-insert", "1", "probability of re-sampling the insert queue"},
+        {"p-delete", "1", "probability of re-sampling the delete queue"},
+        {"seed", "1", "RNG seed"},
+    };
+    append(t, kNumaTunables);
+    reg.add({
+        .name = "mq-opt",
+        .description = "optimized Multi-Queue: task batching / temporal "
+                       "locality (Section 2.1, Appendix C)",
+        .tunables = std::move(t),
+        .make =
+            [](unsigned threads, const ParamMap& params) {
+              const NumaOptions numa = parse_numa(params, threads, 8.0);
+              auto topo = make_topology(numa, threads);
+              OptimizedMqConfig cfg;
+              cfg.queue_multiplier =
+                  static_cast<unsigned>(params.get_int("c", 4));
+              cfg.insert_policy = params.get("insert-policy", "batch") == "local"
+                                      ? InsertPolicy::kTemporalLocality
+                                      : InsertPolicy::kBatching;
+              cfg.delete_policy = params.get("delete-policy", "batch") == "local"
+                                      ? DeletePolicy::kTemporalLocality
+                                      : DeletePolicy::kBatching;
+              cfg.p_insert_change = params.get_probability("p-insert", 1.0);
+              cfg.p_delete_change = params.get_probability("p-delete", 1.0);
+              cfg.insert_batch =
+                  static_cast<std::size_t>(params.get_int("insert-batch", 16));
+              cfg.delete_batch =
+                  static_cast<std::size_t>(params.get_int("delete-batch", 16));
+              cfg.seed = params.get_uint("seed", 1);
+              cfg.topology = topo.get();
+              cfg.numa_weight_k = numa.k;
+              auto any = AnyScheduler::make<OptimizedMultiQueue>(threads, cfg);
+              if (topo) any.attach(std::move(topo));
+              return any;
+            },
+    });
+  }
+
+  {
+    std::vector<Tunable> t = {
+        {"chunk-size", "64", "tasks per chunk"},
+        {"delta-shift", "10", "log2(delta): priority bits merged per level"},
+    };
+    append(t, kNumaTunables);
+    reg.add({
+        .name = "obim",
+        .description = "Ordered By Integer Metric (Galois; Nguyen et al.)",
+        .tunables = t,
+        .make =
+            [](unsigned threads, const ParamMap& params) {
+              const NumaOptions numa = parse_numa(params, threads, 1.0);
+              auto topo = make_topology(numa, threads);
+              ObimConfig cfg;
+              cfg.chunk_size =
+                  static_cast<std::size_t>(params.get_int("chunk-size", 64));
+              cfg.delta_shift =
+                  static_cast<unsigned>(params.get_int("delta-shift", 10));
+              cfg.topology = topo.get();
+              auto any = AnyScheduler::make<Obim>(threads, cfg);
+              if (topo) any.attach(std::move(topo));
+              return any;
+            },
+    });
+
+    t.push_back({"adapt-interval", "64", "chunk-pops between delta checks"});
+    t.push_back({"split-threshold", "4096",
+                 "tasks in the lowest level that force a delta split"});
+    reg.add({
+        .name = "pmod",
+        .description = "OBIM with runtime delta adaptation (Yesil et al.)",
+        .tunables = std::move(t),
+        .make =
+            [](unsigned threads, const ParamMap& params) {
+              const NumaOptions numa = parse_numa(params, threads, 1.0);
+              auto topo = make_topology(numa, threads);
+              ObimConfig cfg;
+              cfg.chunk_size =
+                  static_cast<std::size_t>(params.get_int("chunk-size", 64));
+              cfg.delta_shift =
+                  static_cast<unsigned>(params.get_int("delta-shift", 10));
+              cfg.adapt_interval =
+                  static_cast<unsigned>(params.get_int("adapt-interval", 64));
+              cfg.split_threshold = params.get_int("split-threshold", 4096);
+              cfg.topology = topo.get();
+              auto any = AnyScheduler::make<Pmod>(threads, cfg);
+              if (topo) any.attach(std::move(topo));
+              return any;
+            },
+    });
+  }
+
+  reg.add({
+      .name = "spraylist",
+      .description = "SprayList relaxed skip-list PQ (Alistarh et al.)",
+      .tunables = {{"seed", "1", "RNG seed"},
+                   {"height-offset", "1", "spray height = log T + offset"},
+                   {"jump-scale", "1", "max jump multiplier"}},
+      .make =
+          [](unsigned threads, const ParamMap& params) {
+            SprayConfig cfg;
+            cfg.seed = params.get_uint("seed", 1);
+            cfg.height_offset =
+                static_cast<int>(params.get_int("height-offset", 1));
+            cfg.jump_scale = static_cast<int>(params.get_int("jump-scale", 1));
+            return AnyScheduler::make<SprayList>(threads, cfg);
+          },
+  });
+
+  reg.add({
+      .name = "reld",
+      .description = "Random Enqueue, Local Dequeue (Jeffrey et al.)",
+      .tunables = {{"c", "1", "queues per thread"}, {"seed", "1", "RNG seed"}},
+      .make =
+          [](unsigned threads, const ParamMap& params) {
+            ReldConfig cfg;
+            cfg.queue_multiplier = static_cast<unsigned>(params.get_int("c", 1));
+            cfg.seed = params.get_uint("seed", 1);
+            return AnyScheduler::make<ReldQueue>(threads, cfg);
+          },
+  });
+
+  reg.add({
+      .name = "lockfree-skiplist",
+      .description = "exact delete-min over the lock-free skip list "
+                     "(SprayList without the spray)",
+      .tunables = {{"seed", "1", "RNG seed"}},
+      .make =
+          [](unsigned threads, const ParamMap& params) {
+            GlobalSkipListScheduler::Config cfg;
+            cfg.seed = params.get_uint("seed", 1);
+            return AnyScheduler::make<GlobalSkipListScheduler>(threads, cfg);
+          },
+  });
+
+  reg.add({
+      .name = "dary-heap",
+      .description = "one global spinlocked d-ary heap (strict concurrent "
+                     "PQ anchor)",
+      .tunables = {},
+      .make =
+          [](unsigned threads, const ParamMap&) {
+            return AnyScheduler::make<GlobalHeapScheduler>(threads);
+          },
+  });
+
+  reg.add({
+      .name = "chunk-bag",
+      .description = "single unordered chunk bag (no priorities; "
+                     "throughput anchor)",
+      .tunables = {{"chunk-size", "64", "tasks per chunk"}},
+      .make =
+          [](unsigned threads, const ParamMap& params) {
+            ChunkBagScheduler::Config cfg;
+            cfg.chunk_size =
+                static_cast<std::size_t>(params.get_int("chunk-size", 64));
+            return AnyScheduler::make<ChunkBagScheduler>(threads, cfg);
+          },
+  });
+
+  reg.add({
+      .name = "sequential",
+      .description = "exact single-thread d-ary heap (speedup baseline)",
+      .max_threads = 1,
+      .tunables = {},
+      .make =
+          [](unsigned, const ParamMap&) {
+            return AnyScheduler::make<SequentialScheduler>(1u);
+          },
+  });
+}
+
+}  // namespace
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry* reg = [] {
+    auto* r = new SchedulerRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+AnyScheduler SchedulerRegistry::create(std::string_view name, unsigned threads,
+                                       const ParamMap& params) const {
+  const SchedulerEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown scheduler: " + std::string(name));
+  }
+  return entry->make(effective_threads(*entry, threads), params);
+}
+
+}  // namespace smq

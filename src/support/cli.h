@@ -22,6 +22,12 @@ class ArgParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every parsed "--key value" pair, in command-line order (consumed by
+  /// ParamMap::from_args so registry factories can read their tunables).
+  const std::vector<std::pair<std::string, std::string>>& options() const {
+    return options_;
+  }
+
  private:
   std::vector<std::pair<std::string, std::string>> options_;
   std::vector<std::string> positional_;

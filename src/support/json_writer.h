@@ -1,0 +1,187 @@
+// Minimal streaming JSON writer for machine-readable bench results.
+//
+// Dependency-free on purpose (same policy as cli.h): the bench
+// trajectory only needs objects, arrays, strings, numbers and booleans.
+// The writer tracks nesting in a small stack and inserts commas and
+// indentation; keys and values must alternate correctly inside objects
+// (asserted in debug builds).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smq {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent_width = 2)
+      : os_(os), indent_width_(indent_width) {}
+
+  JsonWriter& begin_object() {
+    open('{', Frame::kObject);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    close('}', Frame::kObject);
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    open('[', Frame::kArray);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    close(']', Frame::kArray);
+    return *this;
+  }
+
+  /// Object member key; must be followed by exactly one value (or
+  /// container) before the next key.
+  JsonWriter& key(std::string_view name) {
+    assert(!stack_.empty() && stack_.back() == Frame::kObject);
+    assert(!pending_key_);
+    separate();
+    write_string(name);
+    os_ << ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    begin_value();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    begin_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    begin_value();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // JSON has no NaN/Inf
+    } else {
+      // Round-trip precision without trailing noise on simple values.
+      std::ostringstream ss;
+      ss.precision(15);
+      ss << v;
+      os_ << ss.str();
+    }
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    begin_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    begin_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null() {
+    begin_value();
+    os_ << "null";
+    return *this;
+  }
+
+  /// key(...).value(...) in one call.
+  template <typename V>
+  JsonWriter& member(std::string_view name, V&& v) {
+    key(name);
+    return value(std::forward<V>(v));
+  }
+
+  /// True when every container has been closed.
+  bool complete() const noexcept { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void open(char bracket, Frame frame) {
+    begin_value();
+    os_ << bracket;
+    stack_.push_back(frame);
+    first_in_frame_ = true;
+  }
+
+  void close(char bracket, [[maybe_unused]] Frame frame) {
+    assert(!stack_.empty() && stack_.back() == frame);
+    assert(!pending_key_);
+    stack_.pop_back();
+    if (!first_in_frame_) {
+      os_ << '\n';
+      write_indent();
+    }
+    os_ << bracket;
+    first_in_frame_ = false;
+  }
+
+  /// Position the stream for a value: handle commas inside arrays,
+  /// consume a pending object key.
+  void begin_value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    assert(stack_.empty() || stack_.back() == Frame::kArray);
+    if (!stack_.empty()) {
+      separate();
+    } else {
+      assert(!wrote_root_ && "only one root value allowed");
+      wrote_root_ = true;
+    }
+  }
+
+  /// Comma + newline + indent before an element or key.
+  void separate() {
+    if (!first_in_frame_) os_ << ',';
+    os_ << '\n';
+    write_indent();
+    first_in_frame_ = false;
+  }
+
+  void write_indent() {
+    for (std::size_t i = 0; i < stack_.size() * indent_width_; ++i) os_ << ' ';
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            os_ << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::size_t indent_width_;
+  std::vector<Frame> stack_;
+  bool first_in_frame_ = true;
+  bool pending_key_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace smq

@@ -1,0 +1,116 @@
+// The streaming JSON writer behind smq_run's machine-readable results.
+#include "support/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace smq {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("name", "smq");
+  json.member("threads", 8u);
+  json.member("seconds", 0.5);
+  json.member("valid", true);
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"name\": \"smq\",\n"
+            "  \"threads\": 8,\n"
+            "  \"seconds\": 0.5,\n"
+            "  \"valid\": true\n"
+            "}");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("results").begin_array();
+  json.begin_object();
+  json.member("t", 1);
+  json.end_object();
+  json.begin_object();
+  json.member("t", 2);
+  json.end_object();
+  json.end_array();
+  json.member("after", "x");
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"results\": [\n"
+            "    {\n"
+            "      \"t\": 1\n"
+            "    },\n"
+            "    {\n"
+            "      \"t\": 2\n"
+            "    }\n"
+            "  ],\n"
+            "  \"after\": \"x\"\n"
+            "}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("empty_list").begin_array();
+  json.end_array();
+  json.key("empty_obj").begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"empty_list\": [],\n"
+            "  \"empty_obj\": {}\n"
+            "}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("quote\"back\\slash", "line\nbreak\ttab");
+  json.end_object();
+  EXPECT_NE(os.str().find("\"quote\\\"back\\\\slash\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"line\\nbreak\\ttab\""), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(1.25);
+  json.end_array();
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  null,\n"
+            "  null,\n"
+            "  1.25\n"
+            "]");
+}
+
+TEST(JsonWriter, RootArrayOfNumbers) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array();
+  json.value(static_cast<std::int64_t>(-3));
+  json.value(static_cast<std::uint64_t>(18446744073709551615ull));
+  json.end_array();
+  EXPECT_TRUE(json.complete());
+  EXPECT_NE(os.str().find("-3"), std::string::npos);
+  EXPECT_NE(os.str().find("18446744073709551615"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,212 @@
+// The registry subsystem: every registered scheduler must run a small
+// SSSP instance to the exact sequential distances through the
+// type-erased AnyScheduler path, configs must parse, and the graph and
+// algorithm registries must compose.
+#include "registry/scheduler_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "algorithms/sssp.h"
+#include "core/stealing_multiqueue.h"
+#include "graph/generators.h"
+#include "registry/algorithm_registry.h"
+#include "registry/graph_registry.h"
+
+namespace smq {
+namespace {
+
+// ---- scheduler registry ---------------------------------------------------
+
+TEST(SchedulerRegistry, ListsAtLeastTheTwelveBuiltins) {
+  const auto names = SchedulerRegistry::instance().names();
+  EXPECT_GE(names.size(), 12u);
+  for (const char* expected :
+       {"smq", "smq-skiplist", "mq", "mq-opt", "obim", "pmod", "spraylist",
+        "reld", "lockfree-skiplist", "dary-heap", "chunk-bag", "sequential"}) {
+    EXPECT_NE(SchedulerRegistry::instance().find(expected), nullptr)
+        << "missing scheduler: " << expected;
+  }
+}
+
+TEST(SchedulerRegistry, UnknownNameIsAnError) {
+  EXPECT_EQ(SchedulerRegistry::instance().find("no-such-sched"), nullptr);
+  EXPECT_THROW(SchedulerRegistry::instance().create("no-such-sched", 2),
+               std::invalid_argument);
+}
+
+TEST(SchedulerRegistry, SequentialClampsToOneThread) {
+  const SchedulerEntry* entry = SchedulerRegistry::instance().find("sequential");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(effective_threads(*entry, 8), 1u);
+  EXPECT_EQ(effective_threads(*entry, 0), 1u);
+  const SchedulerEntry* smq = SchedulerRegistry::instance().find("smq");
+  ASSERT_NE(smq, nullptr);
+  EXPECT_EQ(effective_threads(*smq, 8), 8u);
+}
+
+/// The acceptance smoke test: every registered scheduler, built through
+/// its factory with default params, must produce exact SSSP distances on
+/// a weighted grid (validated against the sequential baseline).
+TEST(SchedulerRegistry, EverySchedulerSolvesSsspExactly) {
+  const Graph graph = make_grid2d(24, 24, /*unit_weights=*/false, 7);
+  const SequentialSsspResult ref = sequential_sssp(graph, 0);
+
+  for (const SchedulerEntry& entry : SchedulerRegistry::instance().entries()) {
+    SCOPED_TRACE(entry.name);
+    const unsigned threads = effective_threads(entry, 4);
+    AnyScheduler sched = entry.make(threads, {});
+    ASSERT_TRUE(static_cast<bool>(sched));
+    EXPECT_EQ(sched.num_threads(), threads);
+    const ShortestPathResult got = parallel_sssp(graph, 0, sched, threads);
+    ASSERT_EQ(got.distances.size(), ref.distances.size());
+    for (std::size_t v = 0; v < ref.distances.size(); ++v) {
+      ASSERT_EQ(got.distances[v], ref.distances[v])
+          << entry.name << " differs at vertex " << v;
+    }
+    EXPECT_GE(got.run.stats.pops, ref.settled);
+  }
+}
+
+TEST(SchedulerRegistry, ConfiguredSmqStillSolvesSssp) {
+  const Graph graph = make_road_like(600, {.seed = 3});
+  const SequentialSsspResult ref = sequential_sssp(graph, 0);
+
+  ParamMap params;
+  params.set("steal-size", "2");
+  params.set("p-steal", "1/2");
+  params.set("numa", "nodes=2,k=8");
+  params.set("seed", "99");
+  AnyScheduler sched = SchedulerRegistry::instance().create("smq", 4, params);
+  const ShortestPathResult got = parallel_sssp(graph, 0, sched, 4);
+  EXPECT_EQ(got.distances, ref.distances);
+}
+
+TEST(SchedulerRegistry, NumaKDefaultsAndExplicitValues) {
+  using Smq = StealingMultiQueue<DAryHeap<Task, 4>>;
+  // "--numa 2" without K: the SMQ's paper default K=8 kicks in.
+  ParamMap nodes_only;
+  nodes_only.set("numa", "2");
+  AnyScheduler defaulted =
+      SchedulerRegistry::instance().create("smq", 4, nodes_only);
+  ASSERT_NE(defaulted.get_if<Smq>(), nullptr);
+  EXPECT_DOUBLE_EQ(defaulted.get_if<Smq>()->config().numa_weight_k, 8.0);
+
+  // An explicit K=1 (uniform sampling ablation point) must survive.
+  ParamMap k_one;
+  k_one.set("numa", "nodes=2,k=1");
+  AnyScheduler uniform = SchedulerRegistry::instance().create("smq", 4, k_one);
+  ASSERT_NE(uniform.get_if<Smq>(), nullptr);
+  EXPECT_DOUBLE_EQ(uniform.get_if<Smq>()->config().numa_weight_k, 1.0);
+}
+
+TEST(SchedulerRegistry, TunablesAreDocumented) {
+  for (const char* tuned : {"smq", "mq", "mq-opt", "obim", "pmod"}) {
+    const SchedulerEntry* entry = SchedulerRegistry::instance().find(tuned);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(entry->tunables.empty()) << tuned;
+    EXPECT_FALSE(entry->description.empty()) << tuned;
+  }
+}
+
+// ---- param map ------------------------------------------------------------
+
+TEST(ParamMap, TypedGetters) {
+  ParamMap params;
+  params.set("steal-size", "16");
+  params.set("p-steal", "1/8");
+  params.set("k", "2.5");
+  EXPECT_EQ(params.get_int("steal-size", 4), 16);
+  EXPECT_EQ(params.get_int("missing", 4), 4);
+  EXPECT_DOUBLE_EQ(params.get_probability("p-steal", 1.0), 0.125);
+  EXPECT_DOUBLE_EQ(params.get_probability("k", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(params.get_double("k", 0.0), 2.5);
+  EXPECT_TRUE(params.has("k"));
+  EXPECT_FALSE(params.has("absent"));
+}
+
+// ---- graph registry -------------------------------------------------------
+
+TEST(GraphRegistry, BuildsEverySyntheticSource) {
+  struct Case {
+    const char* name;
+    std::pair<const char*, const char*> param;
+  };
+  const Case cases[] = {
+      {"road", {"vertices", "400"}},
+      {"rmat", {"scale", "7"}},
+      {"rand", {"vertices", "300"}},
+      {"grid", {"width", "10"}},
+      {"path", {"vertices", "50"}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    ParamMap params;
+    params.set(c.param.first, c.param.second);
+    const GraphInstance inst = GraphRegistry::instance().create(c.name, params);
+    ASSERT_NE(inst.graph, nullptr);
+    EXPECT_GT(inst.graph->num_vertices(), 0u);
+    EXPECT_FALSE(inst.name.empty());
+    EXPECT_LT(inst.default_target, inst.graph->num_vertices());
+  }
+}
+
+TEST(GraphRegistry, FileSourcesRequireAFile) {
+  EXPECT_THROW(GraphRegistry::instance().create("dimacs", {}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphRegistry::instance().create("binary", {}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphRegistry::instance().create("no-such-graph", {}),
+               std::invalid_argument);
+}
+
+// ---- algorithm registry ---------------------------------------------------
+
+TEST(AlgorithmRegistry, EveryAlgorithmValidatesUnderSmq) {
+  const GraphInstance inst = [] {
+    ParamMap params;
+    params.set("vertices", "400");
+    return GraphRegistry::instance().create("road", params);
+  }();
+
+  const auto names = AlgorithmRegistry::instance().names();
+  EXPECT_GE(names.size(), 5u);
+  for (const AlgorithmEntry& algo : AlgorithmRegistry::instance().entries()) {
+    SCOPED_TRACE(algo.name);
+    const AlgoReference ref = algo.make_reference(inst, {});
+    AnyScheduler sched = SchedulerRegistry::instance().create("smq", 2);
+    const AlgoResult result = algo.run(inst, sched, 2, {}, &ref);
+    EXPECT_TRUE(result.validated);
+    EXPECT_TRUE(result.valid) << algo.name << " failed oracle validation";
+    EXPECT_GT(result.run.stats.pops, 0u);
+  }
+}
+
+TEST(AlgorithmRegistry, RejectsOutOfRangeVertices) {
+  ParamMap gparams;
+  gparams.set("vertices", "100");
+  const GraphInstance inst = GraphRegistry::instance().create("rand", gparams);
+  const AlgorithmEntry* sssp = AlgorithmRegistry::instance().find("sssp");
+  ASSERT_NE(sssp, nullptr);
+  ParamMap bad;
+  bad.set("source", "100");  // one past the end
+  AnyScheduler sched = SchedulerRegistry::instance().create("smq", 2);
+  EXPECT_THROW(sssp->run(inst, sched, 2, bad, nullptr), std::invalid_argument);
+  EXPECT_THROW(sssp->make_reference(inst, bad), std::invalid_argument);
+}
+
+TEST(AlgorithmRegistry, SkipsValidationWithoutReference) {
+  ParamMap params;
+  params.set("vertices", "100");
+  const GraphInstance inst = GraphRegistry::instance().create("rand", params);
+  const AlgorithmEntry* sssp = AlgorithmRegistry::instance().find("sssp");
+  ASSERT_NE(sssp, nullptr);
+  AnyScheduler sched = SchedulerRegistry::instance().create("reld", 2);
+  const AlgoResult result = sssp->run(inst, sched, 2, {}, nullptr);
+  EXPECT_FALSE(result.validated);
+  EXPECT_GT(result.run.stats.pops, 0u);
+}
+
+}  // namespace
+}  // namespace smq

@@ -36,7 +36,9 @@ TEST(SequentialSkipList, DuplicatePrioritiesUseTiebreaker) {
   for (int i = 0; i < 50; ++i) {
     const Task t = list.pop();
     EXPECT_EQ(t.priority, 7u);
-    if (i > 0) EXPECT_GT(t.payload, last_payload);  // strict total order
+    if (i > 0) {
+      EXPECT_GT(t.payload, last_payload);  // strict total order
+    }
     last_payload = t.payload;
   }
 }

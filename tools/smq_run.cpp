@@ -1,0 +1,273 @@
+// smq_run — the unified run driver over the registry subsystem.
+//
+// Composes scheduler x algorithm x graph x thread-count at runtime from
+// the string-keyed registries, validates every result against the
+// sequential oracle, and emits both a paper-style ASCII table and
+// machine-readable JSON.
+//
+//   smq_run --list
+//   smq_run --sched smq --algo sssp --graph rand --threads 8
+//   smq_run --sched all --algo sssp --graph road --vertices 20000
+//           --threads 1,4 --reps 3 --json results.json
+//
+// Scheduler/algorithm/graph tunables (see --list) are passed as plain
+// --key value options: --sched smq --steal-size 4 --p-steal 1/8 --numa k=8
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "registry/algorithm_registry.h"
+#include "registry/graph_registry.h"
+#include "registry/listing.h"
+#include "registry/scheduler_registry.h"
+#include "support/cli.h"
+#include "support/json_writer.h"
+
+namespace {
+
+using namespace smq;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  for (std::size_t pos = 0; pos < csv.size();) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > pos) out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct ResultRow {
+  std::string scheduler;
+  unsigned requested_threads = 0;
+  unsigned threads = 0;  // effective (clamped) count
+  AlgoResult result;
+  int reps = 1;
+};
+
+void write_json(std::ostream& os, const std::string& algo_name,
+                const GraphInstance& graph, const ParamMap& params,
+                const AlgoReference* ref, const std::vector<ResultRow>& rows) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("tool", "smq_run");
+  json.member("algorithm", algo_name);
+
+  json.key("graph").begin_object();
+  json.member("name", graph.name);
+  json.member("vertices", static_cast<std::uint64_t>(graph.graph->num_vertices()));
+  json.member("edges", static_cast<std::uint64_t>(graph.graph->num_edges()));
+  json.end_object();
+
+  json.key("params").begin_object();
+  for (const auto& [key, value] : params.entries()) json.member(key, value);
+  json.end_object();
+
+  if (ref != nullptr) {
+    json.key("reference").begin_object();
+    json.member("tasks", ref->reference_tasks);
+    json.member("answer", ref->reference_answer);
+    json.member("seconds", ref->seconds);
+    json.end_object();
+  }
+
+  json.key("results").begin_array();
+  for (const ResultRow& row : rows) {
+    json.begin_object();
+    json.member("scheduler", row.scheduler);
+    json.member("threads", row.threads);
+    if (row.threads != row.requested_threads) {
+      json.member("requested_threads", row.requested_threads);
+    }
+    json.member("seconds", row.result.run.seconds);
+    json.member("tasks", row.result.run.stats.pops);
+    json.member("wasted", row.result.run.stats.wasted);
+    json.member("pushes", row.result.run.stats.pushes);
+    json.member("empty_pops", row.result.run.stats.empty_pops);
+    if (ref != nullptr && ref->reference_tasks > 0) {
+      json.member("work_increase",
+                  row.result.run.work_increase(ref->reference_tasks));
+    }
+    if (ref != nullptr && ref->seconds > 0 && row.result.run.seconds > 0) {
+      json.member("speedup_vs_seq", ref->seconds / row.result.run.seconds);
+    }
+    json.member("reps", row.reps);
+    if (row.result.validated) {
+      json.member("valid", row.result.valid);
+    }
+    json.member("answer", row.result.answer);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+int run(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+
+  if (args.has_flag("help") || args.has_flag("h")) {
+    std::cout
+        << "usage: smq_run [--list] [--sched NAMES|all] [--algo NAME] "
+           "[--graph NAME]\n"
+           "               [--threads N[,N...]] [--reps N] [--json PATH|-] "
+           "[--no-validate]\n"
+           "               [--<tunable> VALUE ...]\n\n"
+           "Runs algorithm x scheduler x threads sweeps over a graph and "
+           "prints a table\nplus optional JSON. `--list` shows every "
+           "registered scheduler, algorithm and\ngraph source with its "
+           "tunables.\n";
+    return 0;
+  }
+  if (args.has_flag("list")) {
+    print_registry_listing(std::cout);
+    return 0;
+  }
+
+  const ParamMap params = ParamMap::from_args(args);
+
+  // ---- resolve the three registry axes --------------------------------
+  const std::string algo_name = args.get("algo", "sssp");
+  const AlgorithmEntry* algo = AlgorithmRegistry::instance().find(algo_name);
+  if (algo == nullptr) {
+    std::cerr << "unknown algorithm: " << algo_name
+              << " (see smq_run --list)\n";
+    return 2;
+  }
+
+  const std::string graph_name = args.get("graph", "rand");
+  GraphInstance graph;
+  try {
+    graph = GraphRegistry::instance().create(graph_name, params);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << " (see smq_run --list)\n";
+    return 2;
+  }
+
+  std::vector<std::string> sched_names = split_csv(args.get("sched", "smq"));
+  if (sched_names.size() == 1 && sched_names[0] == "all") {
+    sched_names = SchedulerRegistry::instance().names();
+  }
+  for (const std::string& name : sched_names) {
+    if (SchedulerRegistry::instance().find(name) == nullptr) {
+      std::cerr << "unknown scheduler: " << name << " (see smq_run --list)\n";
+      return 2;
+    }
+  }
+
+  std::vector<unsigned> thread_counts;
+  for (const std::string& t : split_csv(args.get("threads", "4"))) {
+    const long n = std::strtol(t.c_str(), nullptr, 10);
+    if (n <= 0) {
+      std::cerr << "bad thread count: " << t << "\n";
+      return 2;
+    }
+    thread_counts.push_back(static_cast<unsigned>(n));
+  }
+  const int reps = static_cast<int>(args.get_int("reps", 1));
+  const bool validate = !args.has_flag("no-validate");
+
+  std::cout << "graph: " << graph.name << " (" << graph.graph->num_vertices()
+            << " vertices, " << graph.graph->num_edges() << " edges)\n"
+            << "algorithm: " << algo_name << "\n";
+
+  // ---- sequential oracle ----------------------------------------------
+  AlgoReference reference;
+  bool have_reference = false;
+  if (validate) {
+    reference = algo->make_reference(graph, params);
+    have_reference = true;
+    std::cout << "reference: " << reference.reference_tasks << " tasks, "
+              << TablePrinter::fmt(reference.seconds * 1e3)
+              << " ms sequential\n";
+  }
+  std::cout << '\n';
+
+  // ---- the sweep -------------------------------------------------------
+  std::vector<ResultRow> rows;
+  bool any_invalid = false;
+  for (const std::string& name : sched_names) {
+    const SchedulerEntry* entry = SchedulerRegistry::instance().find(name);
+    for (const unsigned requested : thread_counts) {
+      const unsigned threads = effective_threads(*entry, requested);
+      ResultRow row;
+      row.scheduler = name;
+      row.requested_threads = requested;
+      row.threads = threads;
+      row.reps = std::max(1, reps);
+      for (int rep = 0; rep < row.reps; ++rep) {
+        AnyScheduler sched = entry->make(threads, params);
+        AlgoResult result =
+            algo->run(graph, sched, threads, params,
+                      have_reference ? &reference : nullptr);
+        const bool better = rep == 0 ||
+                            (result.valid && !row.result.valid) ||
+                            (result.valid == row.result.valid &&
+                             result.run.seconds < row.result.run.seconds);
+        if (better) row.result = result;
+      }
+      if (row.result.validated && !row.result.valid) any_invalid = true;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // ---- ASCII table -----------------------------------------------------
+  TablePrinter table({"scheduler", "threads", "time ms", "tasks", "wasted",
+                      "work inc", "speedup", "valid"});
+  for (const ResultRow& row : rows) {
+    const double work_inc =
+        have_reference && reference.reference_tasks > 0
+            ? row.result.run.work_increase(reference.reference_tasks)
+            : 0;
+    const double speedup =
+        have_reference && row.result.run.seconds > 0
+            ? reference.seconds / row.result.run.seconds
+            : 0;
+    table.add_row(
+        {row.scheduler, std::to_string(row.threads),
+         TablePrinter::fmt(row.result.run.seconds * 1e3),
+         std::to_string(row.result.run.stats.pops),
+         std::to_string(row.result.run.stats.wasted),
+         have_reference ? TablePrinter::fmt(work_inc) : "-",
+         have_reference ? TablePrinter::fmt(speedup) : "-",
+         row.result.validated ? (row.result.valid ? "yes" : "NO") : "-"});
+  }
+  table.print(std::cout);
+
+  // ---- JSON ------------------------------------------------------------
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      write_json(std::cout, algo_name, graph, params,
+                 have_reference ? &reference : nullptr, rows);
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 2;
+      }
+      write_json(out, algo_name, graph, params,
+                 have_reference ? &reference : nullptr, rows);
+      std::cout << "\nwrote " << json_path << "\n";
+    }
+  }
+
+  if (any_invalid) {
+    std::cerr << "\nERROR: at least one scheduler produced a wrong answer\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "smq_run: " << e.what() << "\n";
+    return 2;
+  }
+}
