@@ -1,0 +1,146 @@
+// Dispatch-overhead micro-bench: what does the registry boundary cost?
+//
+// Runs SSSP under the hot scheduler keys in all three dispatch modes —
+// virtual (AnyScheduler, one indirect call per push/pop), batched
+// (AnyScheduler, one indirect call per task batch) and static (directly
+// instantiated concrete scheduler) — and reports per-mode throughput
+// plus the ratio to the virtual baseline. This is the number the README
+// quotes and the justification for publishing absolute figures through
+// the registry: if batched/static ~= virtual, the erasure is in the
+// noise; where it is not, `smq_run --dispatch` offers the faster path.
+//
+//   SMQ_BENCH_SCALE=0.1 SMQ_BENCH_THREADS=2 ./bench_dispatch_overhead
+//   ./bench_dispatch_overhead --vertices 100000 --threads 4 --reps 5
+//                             --batch-size 64 [--json PATH]
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/workloads.h"
+#include "registry/algorithm_registry.h"
+#include "registry/graph_registry.h"
+#include "registry/scheduler_registry.h"
+#include "registry/static_dispatch.h"
+#include "support/cli.h"
+#include "support/json_writer.h"
+
+namespace {
+
+using namespace smq;
+
+struct Row {
+  std::string scheduler;
+  std::string dispatch;
+  double seconds = 0;
+  std::uint64_t tasks = 0;
+  double mops = 0;          // million executed tasks per second
+  double vs_virtual = 1.0;  // throughput ratio against the virtual row
+  bool valid = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double scale = bench::bench_scale();
+  const auto vertices = static_cast<std::uint64_t>(args.get_int(
+      "vertices", static_cast<std::int64_t>(50000 * scale) + 1000));
+  const auto threads = static_cast<unsigned>(args.get_int(
+      "threads", static_cast<std::int64_t>(bench::bench_max_threads())));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const std::string batch_size = args.get("batch-size", "64");
+
+  ParamMap params;
+  params.set("vertices", std::to_string(vertices));
+  params.set("seed", "42");
+  const GraphInstance graph = GraphRegistry::instance().create("rand", params);
+  const AlgorithmEntry* algo = AlgorithmRegistry::instance().find("sssp");
+  const AlgoReference reference = algo->make_reference(graph, params);
+
+  std::cout << "=== dispatch overhead: SSSP / " << graph.name << " / "
+            << threads << " threads, best of " << reps << " ===\n\n";
+
+  const std::vector<std::string> schedulers = static_dispatch_keys();
+  const char* modes[] = {"virtual", "batched", "static"};
+  std::vector<Row> rows;
+
+  for (const std::string& name : schedulers) {
+    const SchedulerEntry* entry = SchedulerRegistry::instance().find(name);
+    double virtual_throughput = 0;
+    for (const char* mode_name : modes) {
+      const DispatchMode mode = *parse_dispatch_mode(mode_name);
+      ParamMap run_params = params;
+      if (mode == DispatchMode::kBatched) {
+        run_params.set("batch-size", batch_size);
+      }
+      Row row;
+      row.scheduler = name;
+      row.dispatch = mode_name;
+      for (int rep = 0; rep < reps; ++rep) {
+        AlgoResult result;
+        if (mode == DispatchMode::kStatic) {
+          result = *run_static_dispatch(name, "sssp", graph, threads,
+                                        run_params, &reference);
+        } else {
+          AnyScheduler sched = entry->make(threads, run_params);
+          result = algo->run(graph, sched, threads, run_params, &reference);
+        }
+        if (rep == 0 || result.run.seconds < row.seconds) {
+          row.seconds = result.run.seconds;
+          row.tasks = result.run.stats.pops;
+          row.valid = result.valid;
+        }
+      }
+      row.mops = row.seconds > 0
+                     ? static_cast<double>(row.tasks) / row.seconds / 1e6
+                     : 0;
+      if (mode == DispatchMode::kVirtual) virtual_throughput = row.mops;
+      row.vs_virtual =
+          virtual_throughput > 0 ? row.mops / virtual_throughput : 1.0;
+      rows.push_back(row);
+    }
+  }
+
+  TablePrinter table({"scheduler", "dispatch", "time ms", "tasks", "Mtasks/s",
+                      "vs virtual", "valid"});
+  for (const Row& row : rows) {
+    table.add_row({row.scheduler, row.dispatch,
+                   TablePrinter::fmt(row.seconds * 1e3),
+                   std::to_string(row.tasks), TablePrinter::fmt(row.mops),
+                   TablePrinter::fmt(row.vs_virtual),
+                   row.valid ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    JsonWriter json(out);
+    json.begin_object();
+    json.member("tool", "bench_dispatch_overhead");
+    json.member("threads", threads);
+    json.member("vertices", vertices);
+    json.key("results").begin_array();
+    for (const Row& row : rows) {
+      json.begin_object();
+      json.member("scheduler", row.scheduler);
+      json.member("dispatch", row.dispatch);
+      json.member("seconds", row.seconds);
+      json.member("tasks", row.tasks);
+      json.member("mtasks_per_sec", row.mops);
+      json.member("vs_virtual", row.vs_virtual);
+      json.member("valid", row.valid);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << '\n';
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+
+  bool all_valid = true;
+  for (const Row& row : rows) all_valid = all_valid && row.valid;
+  return all_valid ? 0 : 1;
+}

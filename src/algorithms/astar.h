@@ -49,7 +49,8 @@ struct AStarResult {
 template <PriorityScheduler S>
 AStarResult parallel_astar(const Graph& graph, VertexId source,
                            VertexId target, S& sched, unsigned num_threads,
-                           double weight_scale = 100.0) {
+                           double weight_scale = 100.0,
+                           const ExecutorOptions& exec = {}) {
   const EquirectangularHeuristic h(graph, target, weight_scale);
   DistanceArray g_val(graph.num_vertices());
   g_val.store(source, 0);
@@ -86,7 +87,7 @@ AStarResult parallel_astar(const Graph& graph, VertexId source,
           }
         }
       },
-      num_threads);
+      num_threads, exec);
 
   return AStarResult{best_target.load(std::memory_order_relaxed), run};
 }

@@ -18,7 +18,8 @@ namespace smq {
 
 template <PriorityScheduler S>
 ShortestPathResult parallel_bfs(const Graph& graph, VertexId source, S& sched,
-                                unsigned num_threads) {
+                                unsigned num_threads,
+                                const ExecutorOptions& exec = {}) {
   DistanceArray level(graph.num_vertices());
   level.store(source, 0);
   const Task seed{0, source};
@@ -36,7 +37,7 @@ ShortestPathResult parallel_bfs(const Graph& graph, VertexId source, S& sched,
           if (level.relax_min(n.to, d + 1)) ctx.push(Task{d + 1, n.to});
         }
       },
-      num_threads);
+      num_threads, exec);
 
   return ShortestPathResult{level.snapshot(), run};
 }

@@ -49,7 +49,8 @@ void merge_components(UnionFind& uf,
 
 template <PriorityScheduler S>
 MstResult parallel_boruvka(const Graph& graph, S& sched,
-                           unsigned num_threads) {
+                           unsigned num_threads,
+                           const ExecutorOptions& exec = {}) {
   const VertexId n = graph.num_vertices();
   UnionFind uf(n);
   std::vector<Padded<detail::Component>> components(n);
@@ -148,7 +149,7 @@ MstResult parallel_boruvka(const Graph& graph, S& sched,
   };
 
   RunResult run = run_parallel(sched, std::span<const Task>(seeds), handler,
-                               num_threads);
+                               num_threads, exec);
   return MstResult{total_weight.load(), forest_edges.load(), run};
 }
 

@@ -100,7 +100,8 @@ class AtomicDoubleArray {
 template <PriorityScheduler S>
 PageRankResult parallel_pagerank(const Graph& graph, S& sched,
                                  unsigned num_threads,
-                                 PageRankOptions opts = {}) {
+                                 PageRankOptions opts = {},
+                                 const ExecutorOptions& exec = {}) {
   const std::size_t n = graph.num_vertices();
   detail::AtomicDoubleArray rank(n);
   detail::AtomicDoubleArray residual(n);
@@ -139,7 +140,7 @@ PageRankResult parallel_pagerank(const Graph& graph, S& sched,
           }
         }
       },
-      num_threads);
+      num_threads, exec);
 
   PageRankResult result;
   result.ranks.resize(n);

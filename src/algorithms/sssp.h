@@ -20,7 +20,8 @@ namespace smq {
 /// group it by their delta internally.
 template <PriorityScheduler S>
 ShortestPathResult parallel_sssp(const Graph& graph, VertexId source,
-                                 S& sched, unsigned num_threads) {
+                                 S& sched, unsigned num_threads,
+                                 const ExecutorOptions& exec = {}) {
   DistanceArray dist(graph.num_vertices());
   dist.store(source, 0);
   const Task seed{0, source};
@@ -39,7 +40,7 @@ ShortestPathResult parallel_sssp(const Graph& graph, VertexId source,
           if (dist.relax_min(n.to, nd)) ctx.push(Task{nd, n.to});
         }
       },
-      num_threads);
+      num_threads, exec);
 
   return ShortestPathResult{dist.snapshot(), run};
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/heap_with_stealing.h"
@@ -60,6 +61,34 @@ class StealingMultiQueue {
   /// insert(task): purely local (paper Listing 2, lines 6-7).
   void push(unsigned tid, Task task) {
     locals_[tid].value.queue->add_local(task);
+  }
+
+  /// Bulk insert: local-queue inserts take no locks, so the batch op is
+  /// just the loop — its value is letting callers behind a dispatch
+  /// boundary (AnyScheduler) cross it once for the whole span.
+  void push_batch(unsigned tid, std::span<const Task> tasks) {
+    QueueType& queue = *locals_[tid].value.queue;
+    for (const Task& task : tasks) queue.add_local(task);
+  }
+
+  /// Bulk extract: hand out the remainder of the last stolen batch
+  /// wholesale (instead of dribbling it through per-pop calls), then top
+  /// up from the usual pop path.
+  std::size_t try_pop_batch(unsigned tid, std::vector<Task>& out,
+                            std::size_t max) {
+    Local& me = locals_[tid].value;
+    std::size_t taken = 0;
+    while (taken < max && me.next_stolen < me.stolen_tasks.size()) {
+      out.push_back(me.stolen_tasks[me.next_stolen++]);
+      ++taken;
+    }
+    while (taken < max) {
+      std::optional<Task> task = try_pop(tid);
+      if (!task) break;
+      out.push_back(*task);
+      ++taken;
+    }
+    return taken;
   }
 
   /// delete(): stolen-task buffer, then probabilistic steal, then the

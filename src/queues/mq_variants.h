@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/numa_sampler.h"
@@ -81,6 +82,45 @@ class OptimizedMultiQueue {
       if (queues_.try_push(local.insert_queue, task)) return;
       local.insert_queue = kNone;  // contended: re-sample next round
     }
+  }
+
+  /// Bulk insert. Under the batching insert policy the whole span lands
+  /// in the local buffer at once (flushing each time it fills); temporal
+  /// locality degrades to the per-task path, which already amortizes
+  /// sampling through the sticky queue choice.
+  void push_batch(unsigned tid, std::span<const Task> tasks) {
+    Local& local = locals_[tid].value;
+    if (cfg_.insert_policy != InsertPolicy::kBatching) {
+      for (const Task& task : tasks) push(tid, task);
+      return;
+    }
+    for (const Task& task : tasks) {
+      local.insert_buffer.push_back(task);
+      if (local.insert_buffer.size() >= cfg_.insert_batch) {
+        flush_inserts(local, tid);
+      }
+    }
+  }
+
+  /// Bulk extract: drain the delete buffer wholesale between locked batch
+  /// pops instead of paying one call per buffered task.
+  std::size_t try_pop_batch(unsigned tid, std::vector<Task>& out,
+                            std::size_t max) {
+    Local& local = locals_[tid].value;
+    std::size_t taken = 0;
+    while (taken < max) {
+      while (taken < max && !local.delete_buffer.empty()) {
+        out.push_back(local.delete_buffer.front());
+        local.delete_buffer.pop_front();
+        ++taken;
+      }
+      if (taken >= max) break;
+      std::optional<Task> task = try_pop(tid);  // refills delete_buffer
+      if (!task) break;
+      out.push_back(*task);
+      ++taken;
+    }
+    return taken;
   }
 
   std::optional<Task> try_pop(unsigned tid) {

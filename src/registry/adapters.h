@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "queues/chunk_bag.h"
@@ -46,6 +47,29 @@ class GlobalHeapScheduler {
     std::optional<Task> task = heap_.try_pop();
     lock_.unlock();
     return task;
+  }
+
+  /// Bulk insert under one lock acquisition — for the global-lock anchor
+  /// this is exactly the contention reduction batching is meant to buy.
+  void push_batch(unsigned /*tid*/, std::span<const Task> tasks) {
+    lock_.lock();
+    for (const Task& task : tasks) heap_.push(task);
+    lock_.unlock();
+  }
+
+  /// Bulk extract under one lock acquisition.
+  std::size_t try_pop_batch(unsigned /*tid*/, std::vector<Task>& out,
+                            std::size_t max) {
+    lock_.lock();
+    std::size_t taken = 0;
+    while (taken < max) {
+      std::optional<Task> task = heap_.try_pop();
+      if (!task) break;
+      out.push_back(*task);
+      ++taken;
+    }
+    lock_.unlock();
+    return taken;
   }
 
  private:

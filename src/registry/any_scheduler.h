@@ -8,12 +8,22 @@
 // algorithm template instantiate exactly once for it — runtime scheduler
 // selection with a single indirect call per push/pop. The indirection is
 // uniform across schedulers, which is what a comparison harness needs;
-// perf-critical single-scheduler code can still use static dispatch.
+// perf-critical single-scheduler code can still use static dispatch
+// (src/registry/static_dispatch.h).
+//
+// The batch entry points (push_batch / try_pop_batch) cross the virtual
+// boundary once per batch instead of once per task; each Model forwards
+// to the scheduler's native batch ops when the BatchPush/BatchPop
+// concepts detect them, and to a plain loop on the concrete type
+// otherwise — so even the fallback pays the indirection only once.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "sched/scheduler_traits.h"
 #include "sched/task.h"
@@ -47,6 +57,13 @@ class AnyScheduler {
 
   void push(unsigned tid, Task t) { impl_->push(tid, t); }
   std::optional<Task> try_pop(unsigned tid) { return impl_->try_pop(tid); }
+  void push_batch(unsigned tid, std::span<const Task> tasks) {
+    impl_->push_batch(tid, tasks);
+  }
+  std::size_t try_pop_batch(unsigned tid, std::vector<Task>& out,
+                            std::size_t max) {
+    return impl_->try_pop_batch(tid, out, max);
+  }
   void flush(unsigned tid) { impl_->flush(tid); }
   unsigned num_threads() const { return impl_->num_threads(); }
 
@@ -63,6 +80,9 @@ class AnyScheduler {
     virtual ~Concept() = default;
     virtual void push(unsigned tid, Task t) = 0;
     virtual std::optional<Task> try_pop(unsigned tid) = 0;
+    virtual void push_batch(unsigned tid, std::span<const Task> tasks) = 0;
+    virtual std::size_t try_pop_batch(unsigned tid, std::vector<Task>& out,
+                                      std::size_t max) = 0;
     virtual void flush(unsigned tid) = 0;
     virtual unsigned num_threads() const = 0;
   };
@@ -76,6 +96,13 @@ class AnyScheduler {
     std::optional<Task> try_pop(unsigned tid) override {
       return sched.try_pop(tid);
     }
+    void push_batch(unsigned tid, std::span<const Task> tasks) override {
+      push_batch_adapted(sched, tid, tasks);
+    }
+    std::size_t try_pop_batch(unsigned tid, std::vector<Task>& out,
+                              std::size_t max) override {
+      return try_pop_batch_adapted(sched, tid, out, max);
+    }
     void flush(unsigned tid) override { flush_if_supported(sched, tid); }
     unsigned num_threads() const override { return sched.num_threads(); }
 
@@ -88,5 +115,8 @@ class AnyScheduler {
 
 static_assert(FlushableScheduler<AnyScheduler>,
               "AnyScheduler must model the concept it erases");
+static_assert(BatchPushScheduler<AnyScheduler> &&
+                  BatchPopScheduler<AnyScheduler>,
+              "AnyScheduler must expose the one-virtual-call-per-batch path");
 
 }  // namespace smq

@@ -1,5 +1,8 @@
 #include "registry/graph_registry.h"
 
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 #include "graph/binary_io.h"
@@ -9,6 +12,45 @@
 namespace smq {
 
 namespace {
+
+/// FNV-1a over the resolved tunable values: the cache key must change
+/// whenever any parameter that shapes the graph changes, and only then.
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view s) {
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t graph_cache_key(const GraphSourceEntry& entry,
+                              const ParamMap& params) {
+  std::uint64_t hash = 14695981039346656037ull;
+  hash = fnv1a(hash, entry.name);
+  for (const Tunable& t : entry.tunables) {
+    const std::string value = params.get(t.name, t.default_value);
+    hash = fnv1a(hash, t.name);
+    hash = fnv1a(hash, "=");
+    hash = fnv1a(hash, value);
+    // File-backed sources (dimacs --file/--coords) must not serve a
+    // stale cache entry after the file at the same path changes; fold
+    // the file's size and mtime into the key.
+    if ((t.name == "file" || t.name == "coords") && !value.empty()) {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(value, ec);
+      if (!ec) {
+        hash = fnv1a(hash, ":");
+        hash = fnv1a(hash, std::to_string(size));
+      }
+      const auto mtime = std::filesystem::last_write_time(value, ec);
+      if (!ec) {
+        hash = fnv1a(hash, ":");
+        hash = fnv1a(hash, std::to_string(mtime.time_since_epoch().count()));
+      }
+    }
+  }
+  return hash;
+}
 
 GraphInstance wrap(Graph graph, std::string name, double weight_scale = 100.0) {
   GraphInstance inst;
@@ -172,6 +214,38 @@ GraphInstance GraphRegistry::create(std::string_view name,
     throw std::invalid_argument("unknown graph source: " + std::string(name));
   }
   return entry->make(params);
+}
+
+GraphInstance GraphRegistry::create_cached(std::string_view name,
+                                           const ParamMap& params,
+                                           const std::string& cache_dir) const {
+  const GraphSourceEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("unknown graph source: " + std::string(name));
+  }
+  // Caching an already-binary file would only copy it.
+  if (entry->name == "binary" || cache_dir.empty()) return entry->make(params);
+
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(graph_cache_key(*entry, params)));
+  const std::filesystem::path path =
+      std::filesystem::path(cache_dir) / (entry->name + "-" + hex + ".smqbin");
+
+  if (std::filesystem::exists(path)) {
+    try {
+      return wrap(load_binary_graph(path.string()),
+                  entry->name + "(cached:" + hex + ")");
+    } catch (const std::exception&) {
+      // Truncated or stale-format file: fall through and regenerate.
+    }
+  }
+
+  GraphInstance inst = entry->make(params);
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (!ec) save_binary_graph(path.string(), *inst.graph);
+  return inst;
 }
 
 }  // namespace smq

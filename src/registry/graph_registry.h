@@ -39,6 +39,17 @@ class GraphRegistry : public NamedRegistry<GraphSourceEntry> {
   /// Build the graph named by `name`. Throws std::invalid_argument on an
   /// unknown source; file sources throw std::runtime_error on bad input.
   GraphInstance create(std::string_view name, const ParamMap& params = {}) const;
+
+  /// Like create(), but consult/populate a binary CSR cache under
+  /// `cache_dir` (created if missing), keyed by a hash of (source name,
+  /// the entry's tunables as resolved from `params`). Repeated sweeps
+  /// over the same graph spec skip generation/parsing entirely; the
+  /// "binary" source itself is never re-cached. Cached instances carry
+  /// the source defaults for source/target/weight-scale metadata, which
+  /// is what every current source produces. An unreadable or stale cache
+  /// file falls back to regeneration and is overwritten.
+  GraphInstance create_cached(std::string_view name, const ParamMap& params,
+                              const std::string& cache_dir) const;
 };
 
 }  // namespace smq

@@ -1,8 +1,8 @@
 #include "registry/scheduler_registry.h"
 
-#include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/stealing_multiqueue.h"
 #include "queues/classic_multiqueue.h"
@@ -13,6 +13,7 @@
 #include "queues/skiplist.h"
 #include "queues/spraylist.h"
 #include "registry/adapters.h"
+#include "registry/scheduler_configs.h"
 #include "sched/topology.h"
 #include "support/cli.h"
 
@@ -26,78 +27,15 @@ ParamMap ParamMap::from_args(const ArgParser& args) {
 
 namespace {
 
-/// NUMA options accepted in three spellings: "--numa 2" (node count),
-/// "--numa nodes=2,k=8", "--numa k=8" (implies 2 nodes), plus the
-/// separate "--numa-k 8". Simulated topology, see sched/topology.h.
-struct NumaOptions {
-  unsigned nodes = 0;
-  double k = 1.0;
-};
-
-NumaOptions parse_numa(const ParamMap& params, unsigned threads,
-                       double default_k) {
-  NumaOptions numa;
-  bool k_given = false;  // explicit K (even K=1) must never be overridden
-  const std::string spec = params.get("numa");
-  for (std::size_t pos = 0; pos < spec.size();) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string part = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (part.empty()) continue;
-    if (const auto eq = part.find('='); eq != std::string::npos) {
-      const std::string key = part.substr(0, eq);
-      const double value = std::strtod(part.substr(eq + 1).c_str(), nullptr);
-      if (key == "nodes") numa.nodes = static_cast<unsigned>(value);
-      if (key == "k") {
-        numa.k = value;
-        k_given = true;
-      }
-    } else {
-      numa.nodes = static_cast<unsigned>(std::strtoul(part.c_str(), nullptr, 10));
-    }
-  }
-  if (params.has("numa-k")) {
-    numa.k = params.get_double("numa-k", numa.k);
-    k_given = true;
-  }
-  if (numa.k <= 0) numa.k = 1.0;
-  // "--numa k=8" alone asks for weighted sampling without a node count.
-  if (numa.nodes == 0 && numa.k > 1.0) numa.nodes = 2;
-  if (!k_given && numa.nodes > 1) numa.k = default_k;
-  numa.nodes = std::min(numa.nodes, threads);
-  return numa;
-}
-
-/// Build the simulated topology when requested and tie its lifetime to
-/// the scheduler (configs hold a raw pointer into it).
-std::shared_ptr<Topology> make_topology(const NumaOptions& numa,
-                                        unsigned threads) {
-  if (numa.nodes <= 1) return nullptr;
-  return std::make_shared<Topology>(threads, numa.nodes);
-}
-
-const std::vector<Tunable> kNumaTunables = {
-    {"numa", "0", "virtual NUMA nodes: \"2\", \"nodes=2,k=8\" or \"k=8\""},
-    {"numa-k", "", "remote-queue sampling weight divisor K"},
-};
-
 void append(std::vector<Tunable>& dst, const std::vector<Tunable>& src) {
   dst.insert(dst.end(), src.begin(), src.end());
 }
 
 template <typename LocalPQ>
 AnyScheduler make_smq(unsigned threads, const ParamMap& params) {
-  const NumaOptions numa = parse_numa(params, threads, /*default_k=*/8.0);
-  auto topo = make_topology(numa, threads);
-  SmqConfig cfg;
-  cfg.steal_size = static_cast<std::size_t>(params.get_int("steal-size", 4));
-  cfg.p_steal = params.get_probability("p-steal", 1.0 / 8.0);
-  cfg.seed = params.get_uint("seed", 1);
-  cfg.topology = topo.get();
-  cfg.numa_weight_k = numa.k;
-  auto any =
-      AnyScheduler::make<StealingMultiQueue<LocalPQ>>(threads, cfg);
+  std::shared_ptr<Topology> topo;
+  const SmqConfig cfg = make_smq_config(threads, params, topo);
+  auto any = AnyScheduler::make<StealingMultiQueue<LocalPQ>>(threads, cfg);
   if (topo) any.attach(std::move(topo));
   return any;
 }
@@ -108,7 +46,7 @@ std::vector<Tunable> smq_tunables() {
       {"p-steal", "1/8", "stealing probability (decimal or fraction)"},
       {"seed", "1", "RNG seed"},
   };
-  append(t, kNumaTunables);
+  append(t, numa_tunables());
   return t;
 }
 
@@ -134,21 +72,16 @@ void register_builtins(SchedulerRegistry& reg) {
         {"c", "4", "queues per thread (m = C*T)"},
         {"seed", "1", "RNG seed"},
     };
-    append(t, kNumaTunables);
+    append(t, numa_tunables());
     reg.add({
         .name = "mq",
         .description = "classic Multi-Queue (Rihani et al.; paper Listing 1)",
         .tunables = std::move(t),
         .make =
             [](unsigned threads, const ParamMap& params) {
-              const NumaOptions numa = parse_numa(params, threads, 8.0);
-              auto topo = make_topology(numa, threads);
-              ClassicMqConfig cfg;
-              cfg.queue_multiplier =
-                  static_cast<unsigned>(params.get_int("c", 4));
-              cfg.seed = params.get_uint("seed", 1);
-              cfg.topology = topo.get();
-              cfg.numa_weight_k = numa.k;
+              std::shared_ptr<Topology> topo;
+              const ClassicMqConfig cfg =
+                  make_classic_mq_config(threads, params, topo);
               auto any = AnyScheduler::make<ClassicMultiQueue>(threads, cfg);
               if (topo) any.attach(std::move(topo));
               return any;
@@ -167,7 +100,7 @@ void register_builtins(SchedulerRegistry& reg) {
         {"p-delete", "1", "probability of re-sampling the delete queue"},
         {"seed", "1", "RNG seed"},
     };
-    append(t, kNumaTunables);
+    append(t, numa_tunables());
     reg.add({
         .name = "mq-opt",
         .description = "optimized Multi-Queue: task batching / temporal "
@@ -175,26 +108,9 @@ void register_builtins(SchedulerRegistry& reg) {
         .tunables = std::move(t),
         .make =
             [](unsigned threads, const ParamMap& params) {
-              const NumaOptions numa = parse_numa(params, threads, 8.0);
-              auto topo = make_topology(numa, threads);
-              OptimizedMqConfig cfg;
-              cfg.queue_multiplier =
-                  static_cast<unsigned>(params.get_int("c", 4));
-              cfg.insert_policy = params.get("insert-policy", "batch") == "local"
-                                      ? InsertPolicy::kTemporalLocality
-                                      : InsertPolicy::kBatching;
-              cfg.delete_policy = params.get("delete-policy", "batch") == "local"
-                                      ? DeletePolicy::kTemporalLocality
-                                      : DeletePolicy::kBatching;
-              cfg.p_insert_change = params.get_probability("p-insert", 1.0);
-              cfg.p_delete_change = params.get_probability("p-delete", 1.0);
-              cfg.insert_batch =
-                  static_cast<std::size_t>(params.get_int("insert-batch", 16));
-              cfg.delete_batch =
-                  static_cast<std::size_t>(params.get_int("delete-batch", 16));
-              cfg.seed = params.get_uint("seed", 1);
-              cfg.topology = topo.get();
-              cfg.numa_weight_k = numa.k;
+              std::shared_ptr<Topology> topo;
+              const OptimizedMqConfig cfg =
+                  make_optimized_mq_config(threads, params, topo);
               auto any = AnyScheduler::make<OptimizedMultiQueue>(threads, cfg);
               if (topo) any.attach(std::move(topo));
               return any;
@@ -207,21 +123,15 @@ void register_builtins(SchedulerRegistry& reg) {
         {"chunk-size", "64", "tasks per chunk"},
         {"delta-shift", "10", "log2(delta): priority bits merged per level"},
     };
-    append(t, kNumaTunables);
+    append(t, numa_tunables());
     reg.add({
         .name = "obim",
         .description = "Ordered By Integer Metric (Galois; Nguyen et al.)",
         .tunables = t,
         .make =
             [](unsigned threads, const ParamMap& params) {
-              const NumaOptions numa = parse_numa(params, threads, 1.0);
-              auto topo = make_topology(numa, threads);
-              ObimConfig cfg;
-              cfg.chunk_size =
-                  static_cast<std::size_t>(params.get_int("chunk-size", 64));
-              cfg.delta_shift =
-                  static_cast<unsigned>(params.get_int("delta-shift", 10));
-              cfg.topology = topo.get();
+              std::shared_ptr<Topology> topo;
+              const ObimConfig cfg = make_obim_config(threads, params, topo);
               auto any = AnyScheduler::make<Obim>(threads, cfg);
               if (topo) any.attach(std::move(topo));
               return any;
@@ -237,17 +147,8 @@ void register_builtins(SchedulerRegistry& reg) {
         .tunables = std::move(t),
         .make =
             [](unsigned threads, const ParamMap& params) {
-              const NumaOptions numa = parse_numa(params, threads, 1.0);
-              auto topo = make_topology(numa, threads);
-              ObimConfig cfg;
-              cfg.chunk_size =
-                  static_cast<std::size_t>(params.get_int("chunk-size", 64));
-              cfg.delta_shift =
-                  static_cast<unsigned>(params.get_int("delta-shift", 10));
-              cfg.adapt_interval =
-                  static_cast<unsigned>(params.get_int("adapt-interval", 64));
-              cfg.split_threshold = params.get_int("split-threshold", 4096);
-              cfg.topology = topo.get();
+              std::shared_ptr<Topology> topo;
+              const ObimConfig cfg = make_pmod_config(threads, params, topo);
               auto any = AnyScheduler::make<Pmod>(threads, cfg);
               if (topo) any.attach(std::move(topo));
               return any;

@@ -7,6 +7,14 @@
 // may only exit when its pop failed *after flushing its local buffers*
 // and the counter reads zero. This is exact for the monotone workloads in
 // the paper (tasks only create tasks while being executed).
+//
+// Two worker loops share that protocol:
+//  * per-task (batch_size == 1): the classic pop/run/decrement loop;
+//  * batched (batch_size > 1): pops up to batch_size tasks with one
+//    scheduler call, buffers pushes thread-locally and publishes them
+//    with one scheduler call + one counter update per flush. This
+//    amortizes the dispatch boundary (e.g. AnyScheduler's virtual call)
+//    the same way the paper's Optimization 1 amortizes queue locks.
 #pragma once
 
 #include <atomic>
@@ -23,6 +31,13 @@
 #include "support/timer.h"
 
 namespace smq {
+
+/// Knobs of run_parallel that are independent of the scheduler.
+struct ExecutorOptions {
+  /// Tasks popped per scheduler call and buffered per push flush.
+  /// 1 selects the classic per-task loop.
+  std::size_t batch_size = 1;
+};
 
 /// Per-thread handle given to the task functor; the only way user code
 /// interacts with the scheduler during a run.
@@ -49,6 +64,58 @@ class WorkContext {
   unsigned tid_;
   std::atomic<std::int64_t>& pending_;
   ThreadStats& stats_;
+};
+
+/// Batched counterpart of WorkContext: pushes accumulate in a per-thread
+/// buffer and reach the scheduler via push_batch with a single relaxed
+/// fetch_add(n) on the pending counter per flush (instead of one RMW per
+/// task). Safe for termination because the counter is bumped *before* the
+/// tasks become visible, and the executed tasks that created them are not
+/// retired until after flush() (see batched_worker_loop).
+template <PriorityScheduler S>
+class BatchWorkContext {
+ public:
+  BatchWorkContext(S& sched, unsigned tid, std::atomic<std::int64_t>& pending,
+                   ThreadStats& stats, std::vector<Task>& buffer,
+                   std::size_t capacity) noexcept
+      : sched_(sched),
+        tid_(tid),
+        pending_(pending),
+        stats_(stats),
+        buffer_(buffer),
+        capacity_(capacity == 0 ? 1 : capacity) {
+    buffer_.clear();
+    buffer_.reserve(capacity_);
+  }
+
+  void push(Task t) {
+    buffer_.push_back(t);
+    ++stats_.pushes;
+    if (buffer_.size() >= capacity_) flush();
+  }
+
+  /// Publish every buffered task. Counter first, then tasks: a task must
+  /// never be poppable before it is counted, or another thread could read
+  /// pending == 0 with work still in flight.
+  void flush() {
+    if (buffer_.empty()) return;
+    pending_.fetch_add(static_cast<std::int64_t>(buffer_.size()),
+                       std::memory_order_relaxed);
+    push_batch_adapted(sched_, tid_, std::span<const Task>(buffer_));
+    buffer_.clear();
+  }
+
+  void mark_wasted() noexcept { ++stats_.wasted; }
+
+  unsigned thread_id() const noexcept { return tid_; }
+
+ private:
+  S& sched_;
+  unsigned tid_;
+  std::atomic<std::int64_t>& pending_;
+  ThreadStats& stats_;
+  std::vector<Task>& buffer_;
+  std::size_t capacity_;
 };
 
 namespace detail {
@@ -79,15 +146,63 @@ void worker_loop(S& sched, unsigned tid, std::atomic<std::int64_t>& pending,
   }
 }
 
+/// Per-thread scratch of the batched loop, cache-padded as an array slot
+/// so neighbouring threads' buffer headers never false-share.
+struct BatchBuffers {
+  std::vector<Task> pop;   // tasks taken from the scheduler this round
+  std::vector<Task> push;  // children awaiting the next flush
+};
+
+template <PriorityScheduler S, typename Fn>
+void batched_worker_loop(S& sched, unsigned tid,
+                         std::atomic<std::int64_t>& pending,
+                         ThreadStats& stats, Fn& fn, std::size_t batch_size,
+                         BatchBuffers& bufs) {
+  BatchWorkContext<S> ctx(sched, tid, pending, stats, bufs.push, batch_size);
+  bufs.pop.reserve(batch_size);
+  Backoff backoff;
+  while (true) {
+    bufs.pop.clear();
+    const std::size_t taken =
+        try_pop_batch_adapted(sched, tid, bufs.pop, batch_size);
+    if (taken > 0) {
+      backoff.reset();
+      stats.pops += taken;
+      for (std::size_t i = 0; i < bufs.pop.size(); ++i) fn(bufs.pop[i], ctx);
+      // Children first, then retire the executed batch. The executed
+      // tasks' pending counts cover their still-buffered children, so the
+      // counter cannot dip to zero while work sits in this thread's
+      // buffer. fetch_sub and fetch_add hit the same atomic, so the
+      // counter's modification order alone rules out a phantom zero; the
+      // acq_rel on the sub is what hands a release edge to the thread
+      // that finally observes zero with its acquire load (same contract
+      // as the per-task loop).
+      ctx.flush();
+      pending.fetch_sub(static_cast<std::int64_t>(taken),
+                        std::memory_order_acq_rel);
+      continue;
+    }
+    ++stats.empty_pops;
+    // Nothing popped: publish our own buffered children and the
+    // scheduler's buffered inserts before trusting the counter.
+    ctx.flush();
+    flush_if_supported(sched, tid);
+    if (pending.load(std::memory_order_acquire) == 0) return;
+    backoff.pause();
+    std::this_thread::yield();
+  }
+}
+
 }  // namespace detail
 
 /// Seeds `initial` tasks round-robin through per-thread pushes, then runs
 /// `fn(task, ctx)` on `num_threads` threads until the task graph drains.
 template <PriorityScheduler S, typename Fn>
 RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
-                       unsigned num_threads) {
+                       unsigned num_threads, const ExecutorOptions& opts = {}) {
   StatsRegistry stats(num_threads);
   std::atomic<std::int64_t> pending{0};
+  const std::size_t batch_size = opts.batch_size == 0 ? 1 : opts.batch_size;
 
   // Seed from "thread 0"'s perspective; schedulers route by tid.
   for (std::size_t i = 0; i < initial.size(); ++i) {
@@ -100,16 +215,25 @@ RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
     flush_if_supported(sched, tid);
   }
 
+  std::vector<Padded<detail::BatchBuffers>> buffers(
+      batch_size > 1 ? num_threads : 0);
+  auto work = [&](unsigned tid) {
+    if (batch_size > 1) {
+      detail::batched_worker_loop(sched, tid, pending, stats.of(tid), fn,
+                                  batch_size, buffers[tid].value);
+    } else {
+      detail::worker_loop(sched, tid, pending, stats.of(tid), fn);
+    }
+  };
+
   Timer timer;
   if (num_threads == 1) {
-    detail::worker_loop(sched, 0, pending, stats.of(0), fn);
+    work(0);
   } else {
     std::vector<std::jthread> pool;
     pool.reserve(num_threads);
     for (unsigned tid = 0; tid < num_threads; ++tid) {
-      pool.emplace_back([&, tid] {
-        detail::worker_loop(sched, tid, pending, stats.of(tid), fn);
-      });
+      pool.emplace_back([&work, tid] { work(tid); });
     }
   }  // jthreads join here
 

@@ -6,7 +6,10 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "sched/task.h"
 
@@ -24,10 +27,61 @@ concept FlushableScheduler = PriorityScheduler<S> && requires(S s, unsigned tid)
   { s.flush(tid) } -> std::same_as<void>;
 };
 
+/// Schedulers with a native bulk insert (one lock acquisition / one
+/// boundary crossing for the whole span).
+template <typename S>
+concept BatchPushScheduler =
+    PriorityScheduler<S> &&
+    requires(S s, unsigned tid, std::span<const Task> tasks) {
+      { s.push_batch(tid, tasks) } -> std::same_as<void>;
+    };
+
+/// Schedulers with a native bulk extract: append up to `max` tasks to
+/// `out`, return how many were taken (0 = nothing available right now).
+template <typename S>
+concept BatchPopScheduler =
+    PriorityScheduler<S> &&
+    requires(S s, unsigned tid, std::vector<Task>& out, std::size_t max) {
+      { s.try_pop_batch(tid, out, max) } -> std::convertible_to<std::size_t>;
+    };
+
 /// Flush local insert buffers if the scheduler has any.
 template <PriorityScheduler S>
 void flush_if_supported(S& sched, unsigned tid) {
   if constexpr (FlushableScheduler<S>) sched.flush(tid);
+}
+
+/// Bulk insert: native batch op when the scheduler has one, otherwise a
+/// plain per-task loop. Either way the caller pays one call per batch at
+/// its own dispatch boundary (the point of AnyScheduler's batch virtuals).
+template <PriorityScheduler S>
+void push_batch_adapted(S& sched, unsigned tid, std::span<const Task> tasks) {
+  if constexpr (BatchPushScheduler<S>) {
+    sched.push_batch(tid, tasks);
+  } else {
+    for (const Task& t : tasks) sched.push(tid, t);
+  }
+}
+
+/// Bulk extract into `out` (appended), up to `max` tasks; returns the
+/// number taken. The loop fallback stops at the first empty pop, so a 0
+/// return means the same thing it does for native implementations: the
+/// scheduler had nothing for this thread at this moment.
+template <PriorityScheduler S>
+std::size_t try_pop_batch_adapted(S& sched, unsigned tid,
+                                  std::vector<Task>& out, std::size_t max) {
+  if constexpr (BatchPopScheduler<S>) {
+    return sched.try_pop_batch(tid, out, max);
+  } else {
+    std::size_t taken = 0;
+    while (taken < max) {
+      std::optional<Task> task = sched.try_pop(tid);
+      if (!task) break;
+      out.push_back(*task);
+      ++taken;
+    }
+    return taken;
+  }
 }
 
 }  // namespace smq

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare an smq_run --json sweep against a baseline.
+
+Usage:
+    perf_check.py --baseline bench/baselines/BENCH_baseline.json \
+                  --current results.json [--max-regression 0.15]
+    perf_check.py --baseline ... --current ... --write-baseline
+
+Rows are matched on (scheduler, threads, dispatch). The compared metric
+is `speedup_vs_seq` (parallel throughput normalized by the sequential
+oracle measured *in the same run*), which cancels out absolute machine
+speed so a baseline recorded on one machine gates runs on another. Rows
+missing the metric fall back to tasks/second, which is only meaningful
+when baseline and current ran on comparable hardware.
+
+Exit codes: 0 ok, 1 regression (or invalid result), 2 usage error.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def row_key(row):
+    return (row["scheduler"], row["threads"], row.get("dispatch", "virtual"))
+
+
+def metric_of(row):
+    """(name, value) of the throughput metric for one result row."""
+    speedup = row.get("speedup_vs_seq")
+    if speedup is not None and speedup > 0:
+        return "speedup_vs_seq", speedup
+    seconds = row.get("seconds", 0)
+    tasks = row.get("tasks", 0)
+    if seconds and seconds > 0 and tasks:
+        return "tasks_per_sec", tasks / seconds
+    return None, None
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perf_check: cannot read {path}: {e}")
+    rows = report.get("results")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"perf_check: {path} has no results[]")
+    return report, {row_key(r): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="fail when current < baseline * (1 - this)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="copy current over baseline instead of gating")
+    args = ap.parse_args()
+
+    if args.write_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"perf_check: wrote {args.baseline} from {args.current}")
+        return 0
+
+    _, baseline = load_rows(args.baseline)
+    current_report, current = load_rows(args.current)
+
+    failures = []
+    compared = 0
+    width = max(len("/".join(map(str, k))) for k in baseline)
+    print(f"{'configuration':<{width}}  {'metric':>15}  {'baseline':>10} "
+          f"{'current':>10} {'ratio':>7}")
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        name = "/".join(map(str, key))
+        if cur_row is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if cur_row.get("valid") is False:
+            failures.append(f"{name}: produced an INVALID result")
+            continue
+        metric, base_value = metric_of(base_row)
+        cur_metric, cur_value = metric_of(cur_row)
+        if base_value is None or cur_value is None or metric != cur_metric:
+            failures.append(f"{name}: no comparable metric "
+                            f"({metric} vs {cur_metric})")
+            continue
+        compared += 1
+        ratio = cur_value / base_value
+        flag = "" if ratio >= 1 - args.max_regression else "  << REGRESSION"
+        print(f"{name:<{width}}  {metric:>15}  {base_value:>10.3f} "
+              f"{cur_value:>10.3f} {ratio:>7.2f}{flag}")
+        if flag:
+            failures.append(
+                f"{name}: {metric} fell {100 * (1 - ratio):.1f}% "
+                f"({base_value:.3f} -> {cur_value:.3f}), "
+                f"budget {100 * args.max_regression:.0f}%")
+
+    print(f"\ncompared {compared}/{len(baseline)} baseline configurations "
+          f"(regression budget {100 * args.max_regression:.0f}%)")
+    if failures:
+        print("\nperf_check: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("perf_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,20 @@
 //   smq_run --sched smq --algo sssp --graph rand --threads 8
 //   smq_run --sched all --algo sssp --graph road --vertices 20000
 //           --threads 1,4 --reps 3 --json results.json
+//   smq_run --sched smq,mq-opt --dispatch static --graph-cache /tmp/graphs
 //
 // Scheduler/algorithm/graph tunables (see --list) are passed as plain
 // --key value options: --sched smq --steal-size 4 --p-steal 1/8 --numa k=8
+//
+// --dispatch selects how the executor crosses the scheduler boundary:
+//   virtual  one AnyScheduler virtual call per push/pop (default)
+//   batched  one virtual call per task batch (--batch-size, default 64)
+//   static   directly instantiated concrete scheduler, no erasure
+//            (hot keys only — see static_dispatch.h; others fall back
+//            to virtual and say so)
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +30,7 @@
 #include "registry/graph_registry.h"
 #include "registry/listing.h"
 #include "registry/scheduler_registry.h"
+#include "registry/static_dispatch.h"
 #include "support/cli.h"
 #include "support/json_writer.h"
 
@@ -43,17 +53,20 @@ struct ResultRow {
   std::string scheduler;
   unsigned requested_threads = 0;
   unsigned threads = 0;  // effective (clamped) count
+  DispatchMode dispatch = DispatchMode::kVirtual;  // actually used
   AlgoResult result;
   int reps = 1;
 };
 
 void write_json(std::ostream& os, const std::string& algo_name,
                 const GraphInstance& graph, const ParamMap& params,
-                const AlgoReference* ref, const std::vector<ResultRow>& rows) {
+                DispatchMode requested_dispatch, const AlgoReference* ref,
+                const std::vector<ResultRow>& rows) {
   JsonWriter json(os);
   json.begin_object();
   json.member("tool", "smq_run");
   json.member("algorithm", algo_name);
+  json.member("dispatch", std::string(to_string(requested_dispatch)));
 
   json.key("graph").begin_object();
   json.member("name", graph.name);
@@ -81,6 +94,7 @@ void write_json(std::ostream& os, const std::string& algo_name,
     if (row.threads != row.requested_threads) {
       json.member("requested_threads", row.requested_threads);
     }
+    json.member("dispatch", std::string(to_string(row.dispatch)));
     json.member("seconds", row.result.run.seconds);
     json.member("tasks", row.result.run.stats.pops);
     json.member("wasted", row.result.run.stats.wasted);
@@ -114,11 +128,17 @@ int run(int argc, char** argv) {
            "[--graph NAME]\n"
            "               [--threads N[,N...]] [--reps N] [--json PATH|-] "
            "[--no-validate]\n"
-           "               [--<tunable> VALUE ...]\n\n"
+           "               [--dispatch virtual|batched|static] "
+           "[--batch-size N]\n"
+           "               [--graph-cache DIR] [--<tunable> VALUE ...]\n\n"
            "Runs algorithm x scheduler x threads sweeps over a graph and "
            "prints a table\nplus optional JSON. `--list` shows every "
            "registered scheduler, algorithm and\ngraph source with its "
-           "tunables.\n";
+           "tunables. `--dispatch` picks the scheduler-boundary\nmode "
+           "(virtual erasure, batched erasure, or concrete static "
+           "instantiation);\n`--graph-cache DIR` caches generated graphs "
+           "as binary CSR keyed by their\nparameters so repeated sweeps "
+           "skip generation.\n";
     return 0;
   }
   if (args.has_flag("list")) {
@@ -126,7 +146,36 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  const ParamMap params = ParamMap::from_args(args);
+  ParamMap params = ParamMap::from_args(args);
+
+  // ---- dispatch mode ---------------------------------------------------
+  const std::string dispatch_name = args.get("dispatch", "virtual");
+  const std::optional<DispatchMode> dispatch =
+      parse_dispatch_mode(dispatch_name);
+  if (!dispatch) {
+    std::cerr << "unknown dispatch mode: " << dispatch_name
+              << " (expected virtual, batched or static)\n";
+    return 2;
+  }
+  // Batched dispatch amortizes the erasure boundary over --batch-size
+  // tasks; default it so `--dispatch batched` alone does something.
+  if (*dispatch == DispatchMode::kBatched && !params.has("batch-size")) {
+    params.set("batch-size", "64");
+  }
+  // The executor picks its loop from batch-size alone, so normalize the
+  // recorded mode to what will actually run: `--batch-size 64` without
+  // `--dispatch` IS a batched run, and `--dispatch batched
+  // --batch-size 1` is a per-task one. The perf gate keys baseline rows
+  // on this label; it must not lie.
+  DispatchMode mode = *dispatch;
+  if (mode != DispatchMode::kStatic) {
+    mode = params.get_int("batch-size", 1) > 1 ? DispatchMode::kBatched
+                                               : DispatchMode::kVirtual;
+    if (mode != *dispatch) {
+      std::cerr << "note: --batch-size " << params.get("batch-size", "1")
+                << " makes this a " << to_string(mode) << " run\n";
+    }
+  }
 
   // ---- resolve the three registry axes --------------------------------
   const std::string algo_name = args.get("algo", "sssp");
@@ -138,9 +187,13 @@ int run(int argc, char** argv) {
   }
 
   const std::string graph_name = args.get("graph", "rand");
+  const std::string graph_cache = args.get("graph-cache");
   GraphInstance graph;
   try {
-    graph = GraphRegistry::instance().create(graph_name, params);
+    graph = graph_cache.empty()
+                ? GraphRegistry::instance().create(graph_name, params)
+                : GraphRegistry::instance().create_cached(graph_name, params,
+                                                          graph_cache);
   } catch (const std::exception& e) {
     std::cerr << e.what() << " (see smq_run --list)\n";
     return 2;
@@ -171,13 +224,24 @@ int run(int argc, char** argv) {
 
   std::cout << "graph: " << graph.name << " (" << graph.graph->num_vertices()
             << " vertices, " << graph.graph->num_edges() << " edges)\n"
-            << "algorithm: " << algo_name << "\n";
+            << "algorithm: " << algo_name << "\n"
+            << "dispatch: " << to_string(mode);
+  if (mode == DispatchMode::kBatched) {
+    std::cout << " (batch-size " << params.get("batch-size") << ")";
+  }
+  std::cout << "\n";
 
   // ---- sequential oracle ----------------------------------------------
   AlgoReference reference;
   bool have_reference = false;
   if (validate) {
     reference = algo->make_reference(graph, params);
+    // Best-of-reps, like the parallel rows: speedup_vs_seq feeds the CI
+    // perf gate, so the normalizer must not be a single noisy sample.
+    for (int rep = 1; rep < reps; ++rep) {
+      const AlgoReference again = algo->make_reference(graph, params);
+      if (again.seconds < reference.seconds) reference.seconds = again.seconds;
+    }
     have_reference = true;
     std::cout << "reference: " << reference.reference_tasks << " tasks, "
               << TablePrinter::fmt(reference.seconds * 1e3)
@@ -190,18 +254,37 @@ int run(int argc, char** argv) {
   bool any_invalid = false;
   for (const std::string& name : sched_names) {
     const SchedulerEntry* entry = SchedulerRegistry::instance().find(name);
+    // Static dispatch covers the hot keys only; anything else keeps its
+    // uniform virtual path (and the row says so).
+    DispatchMode row_dispatch = mode;
+    if (row_dispatch == DispatchMode::kStatic && !has_static_dispatch(name)) {
+      std::cerr << "note: no static dispatch entry for '" << name
+                << "'; running it virtual\n";
+      row_dispatch = DispatchMode::kVirtual;
+    }
     for (const unsigned requested : thread_counts) {
       const unsigned threads = effective_threads(*entry, requested);
       ResultRow row;
       row.scheduler = name;
       row.requested_threads = requested;
       row.threads = threads;
+      row.dispatch = row_dispatch;
       row.reps = std::max(1, reps);
       for (int rep = 0; rep < row.reps; ++rep) {
-        AnyScheduler sched = entry->make(threads, params);
-        AlgoResult result =
-            algo->run(graph, sched, threads, params,
-                      have_reference ? &reference : nullptr);
+        AlgoResult result;
+        std::optional<AlgoResult> static_result;
+        if (row_dispatch == DispatchMode::kStatic) {
+          static_result =
+              run_static_dispatch(name, algo_name, graph, threads, params,
+                                  have_reference ? &reference : nullptr);
+        }
+        if (static_result) {
+          result = *static_result;
+        } else {
+          AnyScheduler sched = entry->make(threads, params);
+          result = algo->run(graph, sched, threads, params,
+                             have_reference ? &reference : nullptr);
+        }
         const bool better = rep == 0 ||
                             (result.valid && !row.result.valid) ||
                             (result.valid == row.result.valid &&
@@ -214,8 +297,8 @@ int run(int argc, char** argv) {
   }
 
   // ---- ASCII table -----------------------------------------------------
-  TablePrinter table({"scheduler", "threads", "time ms", "tasks", "wasted",
-                      "work inc", "speedup", "valid"});
+  TablePrinter table({"scheduler", "threads", "dispatch", "time ms", "tasks",
+                      "wasted", "work inc", "speedup", "valid"});
   for (const ResultRow& row : rows) {
     const double work_inc =
         have_reference && reference.reference_tasks > 0
@@ -227,6 +310,7 @@ int run(int argc, char** argv) {
             : 0;
     table.add_row(
         {row.scheduler, std::to_string(row.threads),
+         std::string(to_string(row.dispatch)),
          TablePrinter::fmt(row.result.run.seconds * 1e3),
          std::to_string(row.result.run.stats.pops),
          std::to_string(row.result.run.stats.wasted),
@@ -240,7 +324,7 @@ int run(int argc, char** argv) {
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
     if (json_path == "-") {
-      write_json(std::cout, algo_name, graph, params,
+      write_json(std::cout, algo_name, graph, params, mode,
                  have_reference ? &reference : nullptr, rows);
     } else {
       std::ofstream out(json_path);
@@ -248,7 +332,7 @@ int run(int argc, char** argv) {
         std::cerr << "cannot write " << json_path << "\n";
         return 2;
       }
-      write_json(out, algo_name, graph, params,
+      write_json(out, algo_name, graph, params, mode,
                  have_reference ? &reference : nullptr, rows);
       std::cout << "\nwrote " << json_path << "\n";
     }
