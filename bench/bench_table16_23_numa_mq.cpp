@@ -1,11 +1,20 @@
 // Tables 16-23 (Appendix E.1-E.4): NUMA weight K ablation for the four
 // optimized Multi-Queue combos. K = 1 disables the NUMA weighting;
 // larger K biases queue sampling toward the thread's own (virtual) node.
-// Reports speedup vs classic MQ (C = 4) plus the measured remote-access
-// fraction and the analytic "NUMA-friendliness" E from Section 4.
+//
+// The K grid is the run driver's NUMA sweep grid (registry/numa_grid.h)
+// and every configuration is a (registry key, ParamMap) pair executed
+// through the shared registry runners — the same code path as
+// `smq_run --numa-grid`, so the bench and the driver can never disagree
+// about what a grid point means. The TL/TL combo goes through the
+// mq-tl-p16 preset key to exercise the named-preset path. Reports
+// speedup vs classic MQ (C = 4), the measured remote-access fraction of
+// NUMA-sampled queue touches, and the analytic "NUMA-friendliness" E
+// from Section 4.
 #include <iostream>
 
 #include "harness/bench_main.h"
+#include "registry/numa_grid.h"
 #include "sched/topology.h"
 
 namespace {
@@ -14,10 +23,21 @@ using namespace smq;
 using namespace smq::bench;
 
 struct Mode {
-  std::string name;
-  InsertPolicy insert;
-  DeletePolicy del;
+  std::string name;   // display label
+  std::string sched;  // SchedulerRegistry key (preset or base family)
+  ParamMap params;    // combo knobs on top of the key
 };
+
+ParamMap combo(const char* insert, const char* del) {
+  ParamMap p;
+  p.set("insert-policy", insert);
+  p.set("delete-policy", del);
+  p.set("p-insert", "1/16");
+  p.set("p-delete", "1/16");
+  p.set("insert-batch", "16");
+  p.set("delete-batch", "16");
+  return p;
+}
 
 }  // namespace
 
@@ -25,62 +45,63 @@ int main(int argc, char** argv) {
   const BenchOptions opts = parse_bench_options(argc, argv);
   print_preamble("Tables 16-23: NUMA weight K ablation, optimized MQ", opts);
 
-  const std::vector<double> ks =
-      opts.full ? std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256}
-                : std::vector<double>{1, 8, 64};
+  const unsigned numa_nodes = opts.max_threads >= 4 ? 2 : 1;
+  const std::string grid_spec =
+      "nodes=" + std::to_string(numa_nodes) +
+      (opts.full ? ":k=1,2,4,8,16,32,64,128,256" : ":k=1,8,64");
+  const std::vector<NumaGridPoint> grid = parse_numa_grid(grid_spec);
+
+  // TL/TL is the registry preset; the mixed combos configure the base
+  // mq-opt family directly.
   const std::vector<Mode> modes{
-      {"TL/TL", InsertPolicy::kTemporalLocality, DeletePolicy::kTemporalLocality},
-      {"TL/B", InsertPolicy::kTemporalLocality, DeletePolicy::kBatching},
-      {"B/TL", InsertPolicy::kBatching, DeletePolicy::kTemporalLocality},
-      {"B/B", InsertPolicy::kBatching, DeletePolicy::kBatching},
+      {"TL/TL", "mq-tl-p16", {}},
+      {"TL/B", "mq-opt", combo("local", "batch")},
+      {"B/TL", "mq-opt", combo("batch", "local")},
+      {"B/B", "mq-opt", combo("batch", "batch")},
   };
   std::vector<Workload> workloads =
       opts.full ? standard_workloads(opts.subset) : quick_workloads();
-  const unsigned numa_nodes = opts.max_threads >= 4 ? 2 : 1;
 
-  // Analytic expectation from Section 4.
-  Topology topo(opts.max_threads, numa_nodes);
-  std::cout << "analytic internal fraction E for "
-            << numa_nodes << " virtual nodes:";
-  for (double k : ks) {
-    std::cout << "  K=" << k << ": "
-              << TablePrinter::fmt(topo.expected_internal_fraction(k));
+  // Analytic expectation from Section 4, via the same helper the run
+  // driver records per JSON row.
+  std::cout << "analytic internal fraction E for " << numa_nodes
+            << " virtual nodes (" << grid_spec << "):";
+  for (const NumaGridPoint& point : grid) {
+    std::cout << "  K=" << point.k << ": "
+              << TablePrinter::fmt(
+                     expected_internal_fraction(point, opts.max_threads));
   }
   std::cout << "\n\n";
 
   for (Workload& w : workloads) {
-    SchedulerSpec baseline;
-    baseline.kind = SchedKind::kClassicMq;
-    baseline.mq_c = 4;
-    const Measurement base =
-        run_measurement(w, baseline, opts.max_threads, opts.repetitions);
+    ParamMap baseline;
+    baseline.set("c", "4");
+    const Measurement base = run_registry_measurement(
+        w, "mq", baseline, opts.max_threads, opts.repetitions);
     std::cout << w.name << " (baseline MQ C=4: "
               << TablePrinter::fmt(base.seconds * 1e3) << " ms)\n";
 
     std::vector<std::string> headers{"combo"};
-    for (double k : ks) {
-      headers.push_back("K=" + std::to_string(static_cast<int>(k)));
+    for (const NumaGridPoint& point : grid) {
+      headers.push_back("K=" + std::to_string(static_cast<int>(point.k)));
     }
     TablePrinter table(std::move(headers));
     for (const Mode& mode : modes) {
       std::vector<std::string> row{mode.name};
       double best = 0;
       std::size_t best_col = 0;
-      for (std::size_t i = 0; i < ks.size(); ++i) {
-        SchedulerSpec spec;
-        spec.kind = SchedKind::kOptimizedMq;
-        spec.insert_policy = mode.insert;
-        spec.delete_policy = mode.del;
-        spec.p_insert_change = 1.0 / 16;
-        spec.p_delete_change = 1.0 / 16;
-        spec.insert_batch = 16;
-        spec.delete_batch = 16;
-        spec.numa_nodes = numa_nodes;
-        spec.numa_k = ks[i];
-        const Measurement m =
-            run_measurement(w, spec, opts.max_threads, opts.repetitions);
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        ParamMap params = mode.params;
+        apply_numa_point(params, grid[i]);
+        const Measurement m = run_registry_measurement(
+            w, mode.sched, params, opts.max_threads, opts.repetitions);
         const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0;
-        row.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
+        // speedup plus the measured remote share of sampled touches.
+        std::string cell = m.valid ? TablePrinter::fmt(speedup) : "INVALID";
+        if (m.sampled_accesses > 0) {
+          cell += " r=" + TablePrinter::fmt(m.remote_frac);
+        }
+        row.push_back(std::move(cell));
         if (speedup > best) {
           best = speedup;
           best_col = i + 1;
@@ -92,7 +113,8 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << '\n';
   }
-  std::cout << "speedup vs MQ(C=4); K=1 is the non-NUMA algorithm; (*) best "
-               "K per row.\n";
+  std::cout << "speedup vs MQ(C=4); K=1 is the non-NUMA algorithm; r= is the "
+               "measured remote\nfraction of NUMA-sampled queue touches; (*) "
+               "best K per row.\n";
   return 0;
 }

@@ -1,10 +1,17 @@
 // Tables 24-27 (Appendix E.5-E.6): NUMA weight K ablation for the
 // Stealing Multi-Queue with d-ary heap and skip-list local queues.
 // The paper's finding: SMQ is largely insensitive to K because most
-// operations are local anyway — only steal victims are sampled.
+// operations are local anyway — only steal victims are sampled, which
+// the measured remote fraction (now wired through ExecStats) makes
+// directly visible next to each speedup.
+//
+// Grid points come from the shared run-driver sweep grid
+// (registry/numa_grid.h) and every cell runs through the registry
+// runners, exactly like `smq_run --numa-grid --sched smq,smq-skiplist`.
 #include <iostream>
 
 #include "harness/bench_main.h"
+#include "registry/numa_grid.h"
 
 int main(int argc, char** argv) {
   using namespace smq;
@@ -12,40 +19,41 @@ int main(int argc, char** argv) {
   const BenchOptions opts = parse_bench_options(argc, argv);
   print_preamble("Tables 24-27: NUMA weight K ablation, SMQ", opts);
 
-  const std::vector<double> ks =
-      opts.full ? std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256}
-                : std::vector<double>{1, 8, 64};
+  const unsigned numa_nodes = opts.max_threads >= 4 ? 2 : 1;
+  const std::string grid_spec =
+      "nodes=" + std::to_string(numa_nodes) +
+      (opts.full ? ":k=1,2,4,8,16,32,64,128,256" : ":k=1,8,64");
+  const std::vector<NumaGridPoint> grid = parse_numa_grid(grid_spec);
   std::vector<Workload> workloads =
       opts.full ? standard_workloads(opts.subset) : quick_workloads();
-  const unsigned numa_nodes = opts.max_threads >= 4 ? 2 : 1;
 
-  for (const SchedKind kind :
-       {SchedKind::kSmqHeap, SchedKind::kSmqSkipList}) {
-    std::cout << "--- " << sched_name(kind) << " ---\n";
+  for (const char* sched : {"smq", "smq-skiplist"}) {
+    std::cout << "--- " << sched << " ---\n";
     for (Workload& w : workloads) {
-      SchedulerSpec baseline;
-      baseline.kind = SchedKind::kClassicMq;
-      baseline.mq_c = 4;
-      const Measurement base =
-          run_measurement(w, baseline, opts.max_threads, opts.repetitions);
+      ParamMap baseline;
+      baseline.set("c", "4");
+      const Measurement base = run_registry_measurement(
+          w, "mq", baseline, opts.max_threads, opts.repetitions);
 
       std::vector<std::string> headers{"benchmark"};
-      for (double k : ks) {
-        headers.push_back("K=" + std::to_string(static_cast<int>(k)));
+      for (const NumaGridPoint& point : grid) {
+        headers.push_back("K=" + std::to_string(static_cast<int>(point.k)));
       }
       TablePrinter table(std::move(headers));
       std::vector<std::string> row{w.name};
       double best = 0;
       std::size_t best_col = 0;
-      for (std::size_t i = 0; i < ks.size(); ++i) {
-        SchedulerSpec spec;
-        spec.kind = kind;
-        spec.numa_nodes = numa_nodes;
-        spec.numa_k = ks[i];
-        const Measurement m =
-            run_measurement(w, spec, opts.max_threads, opts.repetitions);
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        ParamMap params;
+        apply_numa_point(params, grid[i]);
+        const Measurement m = run_registry_measurement(
+            w, sched, params, opts.max_threads, opts.repetitions);
         const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0;
-        row.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
+        std::string cell = m.valid ? TablePrinter::fmt(speedup) : "INVALID";
+        if (m.sampled_accesses > 0) {
+          cell += " r=" + TablePrinter::fmt(m.remote_frac);
+        }
+        row.push_back(std::move(cell));
         if (speedup > best) {
           best = speedup;
           best_col = i + 1;
@@ -58,6 +66,7 @@ int main(int argc, char** argv) {
     std::cout << '\n';
   }
   std::cout << "speedup vs MQ(C=4) at " << opts.max_threads
-            << " threads; (*) best K per row.\n";
+            << " threads; r= is the measured remote fraction of sampled "
+               "steal victims;\n(*) best K per row.\n";
   return 0;
 }

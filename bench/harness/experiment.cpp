@@ -140,6 +140,9 @@ Measurement run_registry_measurement(Workload& w, const std::string& sched,
     m.speedup_vs_seq =
         result.run.seconds > 0 ? w.reference_seconds / result.run.seconds : 0;
     m.valid = result.answer == w.reference_answer;
+    m.sampled_accesses = result.run.stats.sampled_accesses;
+    m.remote_accesses = result.run.stats.remote_accesses;
+    m.remote_frac = result.run.stats.remote_frac();
     if (!best.valid || (m.valid && m.seconds < best.seconds)) best = m;
   }
   return best;

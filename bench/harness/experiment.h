@@ -73,6 +73,11 @@ struct Measurement {
   double work_increase = 0;     // tasks / reference_tasks
   double speedup_vs_seq = 0;    // reference_seconds / seconds
   bool valid = false;           // answer matched the sequential oracle
+  // NUMA attribution (zeros unless the run simulated a topology): queue
+  // touches routed through the weighted sampler, and the remote share.
+  std::uint64_t sampled_accesses = 0;
+  std::uint64_t remote_accesses = 0;
+  double remote_frac = 0;
 };
 
 /// Run `workload` under `spec` with `threads` threads, best of

@@ -8,6 +8,7 @@
 // exactly equivalent to the weighted distribution and O(1).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <vector>
@@ -17,26 +18,49 @@
 
 namespace smq {
 
+/// How queue indices map to owning threads (and through them to nodes).
+/// Round-robin (q mod T) matches the Multi-Queue families, where queues
+/// are only conventionally assigned; blocked (q div C) matches RELD,
+/// where thread t structurally owns queues [t*C, (t+1)*C).
+enum class QueueOwnership { kRoundRobin, kBlocked };
+
 class QueueSampler {
  public:
-  /// Uniform sampling over [0, num_queues) — the UMA / K = 1 case.
+  /// Uniform sampling over [0, num_queues) — the UMA case. Knows no
+  /// topology, so is_remote() is identically false.
   explicit QueueSampler(std::size_t num_queues) : num_queues_(num_queues) {}
 
-  /// Weighted sampling: own-node queues weight 1, remote queues 1/K.
+  /// Topology-aware sampling: own-node queues weight 1, remote queues
+  /// 1/K. K <= 1 keeps the *sampling* uniform but still records node
+  /// membership, so is_remote() can attribute accesses — the K = 1
+  /// column of the paper's NUMA tables needs a measured remote fraction
+  /// for the non-NUMA algorithm too.
   QueueSampler(std::size_t num_queues, unsigned num_threads,
-               const Topology& topo, double k_weight)
-      : num_queues_(num_queues) {
-    if (k_weight <= 1.0 || topo.num_nodes() <= 1) return;  // stays uniform
-    per_node_.resize(topo.num_nodes());
+               const Topology& topo, double k_weight,
+               QueueOwnership ownership = QueueOwnership::kRoundRobin)
+      : num_queues_(num_queues),
+        weighted_(k_weight > 1.0 && topo.num_nodes() > 1) {
+    if (topo.num_nodes() <= 1 || num_threads == 0) return;
     thread_node_.resize(num_threads);
     for (unsigned tid = 0; tid < num_threads; ++tid) {
       thread_node_[tid] = topo.node_of_thread(tid);
     }
+    queue_node_.resize(num_queues);
+    const std::size_t per_thread =
+        num_queues < num_threads ? 1 : num_queues / num_threads;
     for (std::size_t q = 0; q < num_queues; ++q) {
-      const unsigned owner = static_cast<unsigned>(q % num_threads);
-      const unsigned node = topo.node_of_thread(owner);
+      const std::size_t owner = ownership == QueueOwnership::kRoundRobin
+                                    ? q % num_threads
+                                    : std::min<std::size_t>(q / per_thread,
+                                                            num_threads - 1);
+      queue_node_[q] = topo.node_of_thread(static_cast<unsigned>(owner));
+    }
+    if (!weighted_) return;  // groups only exist to bias the sampling
+    per_node_.resize(topo.num_nodes());
+    for (std::size_t q = 0; q < num_queues; ++q) {
       for (unsigned n = 0; n < topo.num_nodes(); ++n) {
-        (n == node ? per_node_[n].local : per_node_[n].remote).push_back(q);
+        (n == queue_node_[q] ? per_node_[n].local : per_node_[n].remote)
+            .push_back(q);
       }
     }
     for (auto& group : per_node_) {
@@ -49,15 +73,23 @@ class QueueSampler {
   }
 
   std::size_t num_queues() const noexcept { return num_queues_; }
-  bool is_weighted() const noexcept { return !per_node_.empty(); }
+  /// Sampling is biased toward the caller's node (K > 1).
+  bool is_weighted() const noexcept { return weighted_; }
+  /// Node membership is known, so is_remote() is meaningful (even when
+  /// the sampling itself is uniform, i.e. K <= 1).
+  bool topology_aware() const noexcept { return !thread_node_.empty(); }
 
   std::size_t sample(unsigned tid, Xoshiro256& rng) const {
-    if (per_node_.empty()) return rng.next_below(num_queues_);
+    if (!weighted_) return rng.next_below(num_queues_);
     const NodeGroup& group = per_node_[thread_node_[tid]];
-    if (!group.local.empty() && rng.next_bool(group.p_local)) {
-      return group.local[rng.next_below(group.local.size())];
+    // A node can own no queues (fewer queues than threads), and in the
+    // degenerate single-queue case the remote group is empty too; fall
+    // back to uniform rather than index into an empty vector.
+    if (group.local.empty() && group.remote.empty()) {
+      return rng.next_below(num_queues_);
     }
-    if (group.remote.empty()) {
+    if (group.remote.empty() ||
+        (!group.local.empty() && rng.next_bool(group.p_local))) {
       return group.local[rng.next_below(group.local.size())];
     }
     return group.remote[rng.next_below(group.remote.size())];
@@ -65,11 +97,8 @@ class QueueSampler {
 
   /// Whether `queue` is remote for `tid` (used for the remote-access stat).
   bool is_remote(unsigned tid, std::size_t queue) const noexcept {
-    if (per_node_.empty()) return false;
-    // Queues are distributed round-robin, so membership is computable.
-    const unsigned owner =
-        static_cast<unsigned>(queue % thread_node_.size());
-    return thread_node_[owner] != thread_node_[tid];
+    if (thread_node_.empty()) return false;
+    return queue_node_[queue] != thread_node_[tid];
   }
 
  private:
@@ -80,17 +109,19 @@ class QueueSampler {
   };
 
   std::size_t num_queues_;
+  bool weighted_ = false;
   std::vector<NodeGroup> per_node_;
   std::vector<unsigned> thread_node_;
+  std::vector<unsigned> queue_node_;
 };
 
-inline QueueSampler make_queue_sampler(std::size_t num_queues,
-                                       unsigned num_threads,
-                                       const Topology* topo, double k_weight) {
-  if (topo == nullptr || k_weight <= 1.0 || topo->num_nodes() <= 1) {
+inline QueueSampler make_queue_sampler(
+    std::size_t num_queues, unsigned num_threads, const Topology* topo,
+    double k_weight, QueueOwnership ownership = QueueOwnership::kRoundRobin) {
+  if (topo == nullptr || topo->num_nodes() <= 1) {
     return QueueSampler(num_queues);
   }
-  return QueueSampler(num_queues, num_threads, *topo, k_weight);
+  return QueueSampler(num_queues, num_threads, *topo, k_weight, ownership);
 }
 
 }  // namespace smq

@@ -23,6 +23,7 @@
 #include "core/heap_with_stealing.h"
 #include "core/numa_sampler.h"
 #include "queues/d_ary_heap.h"
+#include "sched/stats.h"
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
@@ -116,6 +117,21 @@ class StealingMultiQueue {
   std::uint64_t remote_steals(unsigned tid) const noexcept {
     return locals_[tid].value.remote_steals;
   }
+  std::uint64_t steal_samples(unsigned tid) const noexcept {
+    return locals_[tid].value.steal_samples;
+  }
+
+  /// Fold this thread's scheduler-private counters into the executor's
+  /// per-thread stats (StatReportingScheduler): steal tallies plus the
+  /// NUMA victim-sampling attribution that ExecStats reports as
+  /// remote_accesses / sampled_accesses.
+  void collect_stats(unsigned tid, ThreadStats& st) const noexcept {
+    const Local& me = locals_[tid].value;
+    st.steals += me.steals;
+    st.steal_fails += me.steal_fails;
+    st.sampled_accesses += me.steal_samples;
+    st.remote_accesses += me.remote_steals;
+  }
   std::size_t local_heap_size(unsigned tid) const noexcept {
     return locals_[tid].value.queue->heap_size();
   }
@@ -131,6 +147,11 @@ class StealingMultiQueue {
     Xoshiro256 rng;
     std::uint64_t steals = 0;
     std::uint64_t steal_fails = 0;
+    // NUMA attribution: every victim choice is one sampled touch of the
+    // victim's queue (reading its published top is already a cross-node
+    // cache-line transfer, steal or not); remote_steals counts those
+    // that landed out of node.
+    std::uint64_t steal_samples = 0;
     std::uint64_t remote_steals = 0;
   };
 
@@ -138,8 +159,21 @@ class StealingMultiQueue {
   std::optional<Task> try_steal(unsigned tid) {
     Local& me = locals_[tid].value;
     if (num_threads_ <= 1) return std::nullopt;
+    // Self-exclusion must be bounded: a heavily weighted sampler on a
+    // one-thread node returns `tid` with probability ~1, so the naive
+    // resample-until-different loop could spin almost forever. After a
+    // few tries, fall back to a uniform pick over the other threads.
     std::size_t victim = sampler_.sample(tid, me.rng);
-    while (victim == tid) victim = sampler_.sample(tid, me.rng);
+    for (int attempt = 0; victim == tid && attempt < 8; ++attempt) {
+      victim = sampler_.sample(tid, me.rng);
+    }
+    if (victim == tid) {
+      victim = (tid + 1 + me.rng.next_below(num_threads_ - 1)) % num_threads_;
+    }
+    if (sampler_.topology_aware()) {
+      ++me.steal_samples;
+      if (sampler_.is_remote(tid, victim)) ++me.remote_steals;
+    }
     QueueType& victim_queue = *locals_[victim].value.queue;
 
     // Steal only when the victim's visible top beats our local best.
@@ -155,7 +189,6 @@ class StealingMultiQueue {
       return std::nullopt;
     }
     ++me.steals;
-    if (sampler_.is_remote(tid, victim)) ++me.remote_steals;
     me.next_stolen = 1;  // hand out tasks [1, n) on subsequent pops
     return me.stolen_tasks.front();
   }

@@ -14,6 +14,7 @@
 
 #include "core/numa_sampler.h"
 #include "queues/locked_queue_array.h"
+#include "sched/stats.h"
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
@@ -37,7 +38,8 @@ class ClassicMultiQueue {
         rngs_(num_threads),
         sampler_(make_queue_sampler(queues_.size(), num_threads, cfg.topology,
                                     cfg.numa_weight_k)),
-        scratch_(num_threads) {
+        scratch_(num_threads),
+        numa_(num_threads) {
     for (unsigned tid = 0; tid < num_threads; ++tid) {
       rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
     }
@@ -49,7 +51,10 @@ class ClassicMultiQueue {
 
   void push(unsigned tid, Task task) {
     Xoshiro256& rng = rngs_[tid].value;
-    while (!queues_.try_push(sampler_.sample(tid, rng), task)) {
+    while (true) {
+      const std::size_t target = sampler_.sample(tid, rng);
+      record_touch(tid, target);
+      if (queues_.try_push(target, task)) return;
     }
   }
 
@@ -59,7 +64,14 @@ class ClassicMultiQueue {
     for (int attempt = 0; attempt < 64; ++attempt) {
       const std::size_t i1 = sampler_.sample(tid, rng);
       std::size_t i2 = sampler_.sample(tid, rng);
-      while (i2 == i1) i2 = sampler_.sample(tid, rng);
+      // Bounded distinct-pair resampling: a weighted sampler over a
+      // near-singleton group could echo i1 indefinitely.
+      for (int retry = 0; i2 == i1 && retry < 8; ++retry) {
+        i2 = sampler_.sample(tid, rng);
+      }
+      if (i2 == i1) i2 = (i1 + 1) % queues_.size();
+      record_touch(tid, i1);
+      record_touch(tid, i2);
       const std::uint64_t p1 = queues_.top_priority(i1);
       const std::uint64_t p2 = queues_.top_priority(i2);
       if (p1 == Task::kInfinity && p2 == Task::kInfinity) {
@@ -78,13 +90,35 @@ class ClassicMultiQueue {
     return queues_.pop_any(rngs_[tid].value.next_below(queues_.size()));
   }
 
+  /// Fold NUMA sampling attribution into the executor's per-thread
+  /// stats (StatReportingScheduler). Zeros under UMA.
+  void collect_stats(unsigned tid, ThreadStats& st) const noexcept {
+    st.sampled_accesses += numa_[tid].value.sampled;
+    st.remote_accesses += numa_[tid].value.remote;
+  }
+
  private:
+  struct NumaCounters {
+    std::uint64_t sampled = 0;
+    std::uint64_t remote = 0;
+  };
+
+  /// Count one sampled queue touch; only when a topology is attached,
+  /// so the UMA hot path stays increment-free.
+  void record_touch(unsigned tid, std::size_t queue) noexcept {
+    if (!sampler_.topology_aware()) return;
+    NumaCounters& c = numa_[tid].value;
+    ++c.sampled;
+    if (sampler_.is_remote(tid, queue)) ++c.remote;
+  }
+
   unsigned num_threads_;
   LockedQueueArray queues_;
   std::vector<Padded<Xoshiro256>> rngs_;
   QueueSampler sampler_;
   // Per-thread scratch for pop batches; avoids an allocation per pop.
   std::vector<Padded<std::vector<Task>>> scratch_;
+  std::vector<Padded<NumaCounters>> numa_;
 };
 
 }  // namespace smq

@@ -23,6 +23,7 @@
 
 #include "core/numa_sampler.h"
 #include "queues/locked_queue_array.h"
+#include "sched/stats.h"
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
@@ -73,12 +74,15 @@ class OptimizedMultiQueue {
       if (local.insert_buffer.size() >= cfg_.insert_batch) flush_inserts(local, tid);
       return;
     }
-    // Temporal locality: maybe keep the previous insert queue.
+    // Temporal locality: maybe keep the previous insert queue. A sticky
+    // reuse still touches the queue's node, so it still counts toward
+    // the NUMA attribution.
     while (true) {
       if (local.insert_queue == kNone ||
           local.rng.next_bool(cfg_.p_insert_change)) {
         local.insert_queue = sampler_.sample(tid, local.rng);
       }
+      record_touch(local, tid, local.insert_queue);
       if (queues_.try_push(local.insert_queue, task)) return;
       local.insert_queue = kNone;  // contended: re-sample next round
     }
@@ -167,6 +171,13 @@ class OptimizedMultiQueue {
 
   std::uint64_t approx_size() const noexcept { return queues_.approx_total(); }
 
+  /// Fold NUMA sampling attribution into the executor's per-thread
+  /// stats (StatReportingScheduler). Zeros under UMA.
+  void collect_stats(unsigned tid, ThreadStats& st) const noexcept {
+    st.sampled_accesses += locals_[tid].value.numa_sampled;
+    st.remote_accesses += locals_[tid].value.numa_remote;
+  }
+
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -177,12 +188,27 @@ class OptimizedMultiQueue {
     std::vector<Task> scratch;
     std::size_t insert_queue = kNone;  // temporal-locality memory
     std::size_t delete_queue = kNone;
+    // NUMA attribution: queue touches routed through the sampler (one
+    // per flushed insert batch, not per task — a batch is one lock
+    // acquisition and one node crossing), and how many were remote.
+    std::uint64_t numa_sampled = 0;
+    std::uint64_t numa_remote = 0;
   };
 
+  void record_touch(Local& local, unsigned tid, std::size_t queue) noexcept {
+    if (!sampler_.topology_aware()) return;
+    ++local.numa_sampled;
+    if (sampler_.is_remote(tid, queue)) ++local.numa_remote;
+  }
+
   void flush_inserts(Local& local, unsigned tid) {
-    while (!queues_.try_push_batch(sampler_.sample(tid, local.rng),
-                                   local.insert_buffer.data(),
-                                   local.insert_buffer.size())) {
+    while (true) {
+      const std::size_t target = sampler_.sample(tid, local.rng);
+      record_touch(local, tid, target);
+      if (queues_.try_push_batch(target, local.insert_buffer.data(),
+                                 local.insert_buffer.size())) {
+        break;
+      }
     }
     local.insert_buffer.clear();
   }
@@ -193,11 +219,18 @@ class OptimizedMultiQueue {
     if (cfg_.delete_policy == DeletePolicy::kTemporalLocality &&
         local.delete_queue != kNone &&
         !local.rng.next_bool(cfg_.p_delete_change)) {
+      record_touch(local, tid, local.delete_queue);
       return local.delete_queue;  // stick with the previous queue
     }
     const std::size_t i1 = sampler_.sample(tid, local.rng);
     std::size_t i2 = sampler_.sample(tid, local.rng);
-    while (i2 == i1) i2 = sampler_.sample(tid, local.rng);
+    // Bounded distinct-pair resampling (see ClassicMultiQueue::try_pop).
+    for (int retry = 0; i2 == i1 && retry < 8; ++retry) {
+      i2 = sampler_.sample(tid, local.rng);
+    }
+    if (i2 == i1) i2 = (i1 + 1) % queues_.size();
+    record_touch(local, tid, i1);
+    record_touch(local, tid, i2);
     const std::uint64_t p1 = queues_.top_priority(i1);
     const std::uint64_t p2 = queues_.top_priority(i2);
     if (p1 == Task::kInfinity && p2 == Task::kInfinity) return kNone;

@@ -5,13 +5,21 @@
 // one is empty. The cheapest communication-avoiding Multi-Queue relative;
 // it has no rank guarantees (a thread may sit on arbitrarily stale
 // priorities) and the paper uses it as a lower anchor in Figure 2.
+//
+// The random-enqueue side is exactly the operation the paper's NUMA
+// weighting (Section 4) applies to, so RELD participates in the NUMA
+// grid too: insert targets go through QueueSampler with *blocked*
+// ownership (thread t structurally owns queues [t*C, (t+1)*C)), unlike
+// the Multi-Queues' conventional round-robin assignment.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "core/numa_sampler.h"
 #include "queues/locked_queue_array.h"
+#include "sched/stats.h"
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
@@ -21,6 +29,8 @@ namespace smq {
 struct ReldConfig {
   unsigned queue_multiplier = 1;  // one queue per thread by default
   std::uint64_t seed = 1;
+  const Topology* topology = nullptr;  // nullptr => uniform enqueue
+  double numa_weight_k = 1.0;
 };
 
 class ReldQueue {
@@ -32,7 +42,11 @@ class ReldQueue {
         queues_per_thread_(cfg.queue_multiplier == 0 ? 1 : cfg.queue_multiplier),
         queues_(static_cast<std::size_t>(num_threads) * queues_per_thread_),
         rngs_(num_threads),
-        scratch_(num_threads) {
+        scratch_(num_threads),
+        numa_(num_threads),
+        sampler_(make_queue_sampler(queues_.size(), num_threads, cfg.topology,
+                                    cfg.numa_weight_k,
+                                    QueueOwnership::kBlocked)) {
     for (unsigned tid = 0; tid < num_threads; ++tid) {
       rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
     }
@@ -43,8 +57,22 @@ class ReldQueue {
 
   void push(unsigned tid, Task task) {
     Xoshiro256& rng = rngs_[tid].value;
-    while (!queues_.try_push(rng.next_below(queues_.size()), task)) {
+    while (true) {
+      const std::size_t target = sampler_.sample(tid, rng);
+      if (sampler_.topology_aware()) {
+        NumaCounters& c = numa_[tid].value;
+        ++c.sampled;
+        if (sampler_.is_remote(tid, target)) ++c.remote;
+      }
+      if (queues_.try_push(target, task)) return;
     }
+  }
+
+  /// Fold NUMA enqueue attribution into the executor's per-thread stats
+  /// (StatReportingScheduler). Zeros under UMA.
+  void collect_stats(unsigned tid, ThreadStats& st) const noexcept {
+    st.sampled_accesses += numa_[tid].value.sampled;
+    st.remote_accesses += numa_[tid].value.remote;
   }
 
   std::optional<Task> try_pop(unsigned tid) {
@@ -65,11 +93,18 @@ class ReldQueue {
   std::uint64_t approx_size() const noexcept { return queues_.approx_total(); }
 
  private:
+  struct NumaCounters {
+    std::uint64_t sampled = 0;
+    std::uint64_t remote = 0;
+  };
+
   unsigned num_threads_;
   unsigned queues_per_thread_;
   LockedQueueArray queues_;
   std::vector<Padded<Xoshiro256>> rngs_;
   std::vector<Padded<std::vector<Task>>> scratch_;
+  std::vector<Padded<NumaCounters>> numa_;
+  QueueSampler sampler_;
 };
 
 }  // namespace smq

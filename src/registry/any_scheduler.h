@@ -65,6 +65,9 @@ class AnyScheduler {
     return impl_->try_pop_batch(tid, out, max);
   }
   void flush(unsigned tid) { impl_->flush(tid); }
+  void collect_stats(unsigned tid, ThreadStats& st) const {
+    impl_->collect_stats(tid, st);
+  }
   unsigned num_threads() const { return impl_->num_threads(); }
 
   /// Access the concrete scheduler (tests, stat scraping). Returns
@@ -84,6 +87,7 @@ class AnyScheduler {
     virtual std::size_t try_pop_batch(unsigned tid, std::vector<Task>& out,
                                       std::size_t max) = 0;
     virtual void flush(unsigned tid) = 0;
+    virtual void collect_stats(unsigned tid, ThreadStats& st) const = 0;
     virtual unsigned num_threads() const = 0;
   };
 
@@ -104,6 +108,9 @@ class AnyScheduler {
       return try_pop_batch_adapted(sched, tid, out, max);
     }
     void flush(unsigned tid) override { flush_if_supported(sched, tid); }
+    void collect_stats(unsigned tid, ThreadStats& st) const override {
+      collect_stats_if_supported(sched, tid, st);
+    }
     unsigned num_threads() const override { return sched.num_threads(); }
 
     S sched;
@@ -118,5 +125,7 @@ static_assert(FlushableScheduler<AnyScheduler>,
 static_assert(BatchPushScheduler<AnyScheduler> &&
                   BatchPopScheduler<AnyScheduler>,
               "AnyScheduler must expose the one-virtual-call-per-batch path");
+static_assert(StatReportingScheduler<AnyScheduler>,
+              "AnyScheduler must forward scheduler-private stat collection");
 
 }  // namespace smq

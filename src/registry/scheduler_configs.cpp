@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "support/cli.h"
+
 namespace smq {
 
 NumaOptions parse_numa(const ParamMap& params, unsigned threads,
@@ -11,12 +13,7 @@ NumaOptions parse_numa(const ParamMap& params, unsigned threads,
   NumaOptions numa;
   bool k_given = false;  // explicit K (even K=1) must never be overridden
   const std::string spec = params.get("numa");
-  for (std::size_t pos = 0; pos < spec.size();) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string part = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (part.empty()) continue;
+  for (const std::string& part : split_list(spec, ',')) {
     if (const auto eq = part.find('='); eq != std::string::npos) {
       const std::string key = part.substr(0, eq);
       const double value = std::strtod(part.substr(eq + 1).c_str(), nullptr);
@@ -99,6 +96,18 @@ OptimizedMqConfig make_optimized_mq_config(unsigned threads,
       static_cast<std::size_t>(params.get_int("insert-batch", 16));
   cfg.delete_batch =
       static_cast<std::size_t>(params.get_int("delete-batch", 16));
+  cfg.seed = params.get_uint("seed", 1);
+  cfg.topology = topology.get();
+  cfg.numa_weight_k = numa.k;
+  return cfg;
+}
+
+ReldConfig make_reld_config(unsigned threads, const ParamMap& params,
+                            std::shared_ptr<Topology>& topology) {
+  const NumaOptions numa = parse_numa(params, threads, 8.0);
+  topology = make_topology(numa, threads);
+  ReldConfig cfg;
+  cfg.queue_multiplier = static_cast<unsigned>(params.get_int("c", 1));
   cfg.seed = params.get_uint("seed", 1);
   cfg.topology = topology.get();
   cfg.numa_weight_k = numa.k;

@@ -16,6 +16,7 @@
 #include "queues/classic_multiqueue.h"
 #include "queues/mq_variants.h"
 #include "queues/obim.h"
+#include "queues/reld.h"
 #include "registry/params.h"
 #include "sched/topology.h"
 
@@ -48,6 +49,8 @@ ClassicMqConfig make_classic_mq_config(unsigned threads, const ParamMap& params,
 OptimizedMqConfig make_optimized_mq_config(unsigned threads,
                                            const ParamMap& params,
                                            std::shared_ptr<Topology>& topology);
+ReldConfig make_reld_config(unsigned threads, const ParamMap& params,
+                            std::shared_ptr<Topology>& topology);
 ObimConfig make_obim_config(unsigned threads, const ParamMap& params,
                             std::shared_ptr<Topology>& topology);
 /// Obim config plus the PMOD adaptation knobs.

@@ -173,18 +173,26 @@ void register_builtins(SchedulerRegistry& reg) {
           },
   });
 
-  reg.add({
-      .name = "reld",
-      .description = "Random Enqueue, Local Dequeue (Jeffrey et al.)",
-      .tunables = {{"c", "1", "queues per thread"}, {"seed", "1", "RNG seed"}},
-      .make =
-          [](unsigned threads, const ParamMap& params) {
-            ReldConfig cfg;
-            cfg.queue_multiplier = static_cast<unsigned>(params.get_int("c", 1));
-            cfg.seed = params.get_uint("seed", 1);
-            return AnyScheduler::make<ReldQueue>(threads, cfg);
-          },
-  });
+  {
+    std::vector<Tunable> t = {
+        {"c", "1", "queues per thread"},
+        {"seed", "1", "RNG seed"},
+    };
+    append(t, numa_tunables());
+    reg.add({
+        .name = "reld",
+        .description = "Random Enqueue, Local Dequeue (Jeffrey et al.)",
+        .tunables = std::move(t),
+        .make =
+            [](unsigned threads, const ParamMap& params) {
+              std::shared_ptr<Topology> topo;
+              const ReldConfig cfg = make_reld_config(threads, params, topo);
+              auto any = AnyScheduler::make<ReldQueue>(threads, cfg);
+              if (topo) any.attach(std::move(topo));
+              return any;
+            },
+    });
+  }
 
   reg.add({
       .name = "lockfree-skiplist",
@@ -234,6 +242,66 @@ void register_builtins(SchedulerRegistry& reg) {
             return AnyScheduler::make<SequentialScheduler>(1u);
           },
   });
+
+  // ---- named sweep presets -------------------------------------------
+  //
+  // The paper's remaining parameter grids as first-class registry keys,
+  // so `--sched` (and the NUMA grid sweep) can enumerate them like any
+  // other scheduler instead of benches hand-rolling the loops:
+  //  * mq-tl-p<D>: optimized MQ, temporal locality on insert AND delete
+  //    with p_change = 1/D (Figures 7-14's p-sweep; p = 1 reproduces
+  //    the classic MQ behaviour);
+  //  * reld-c<C>: RELD with C queues per thread (the C-sweep anchor).
+  // The pinned knobs win over conflicting CLI tunables — that is what
+  // makes the key a preset; everything else (c, seed, numa, ...) still
+  // flows through.
+  for (const int denom : {1, 4, 16, 64, 256, 1024}) {
+    std::vector<Tunable> t = {
+        {"c", "4", "queues per thread"},
+        {"seed", "1", "RNG seed"},
+    };
+    append(t, numa_tunables());
+    reg.add({
+        .name = "mq-tl-p" + std::to_string(denom),
+        .description = "preset: mq-opt, temporal locality, p = 1/" +
+                       std::to_string(denom),
+        .tunables = std::move(t),
+        .make =
+            [denom](unsigned threads, const ParamMap& params) {
+              ParamMap preset = params;
+              preset.set("insert-policy", "local");
+              preset.set("delete-policy", "local");
+              preset.set("p-insert", "1/" + std::to_string(denom));
+              preset.set("p-delete", "1/" + std::to_string(denom));
+              std::shared_ptr<Topology> topo;
+              const OptimizedMqConfig cfg =
+                  make_optimized_mq_config(threads, preset, topo);
+              auto any = AnyScheduler::make<OptimizedMultiQueue>(threads, cfg);
+              if (topo) any.attach(std::move(topo));
+              return any;
+            },
+    });
+  }
+  for (const unsigned c : {1u, 2u, 4u, 8u}) {
+    std::vector<Tunable> t = {{"seed", "1", "RNG seed"}};
+    append(t, numa_tunables());
+    reg.add({
+        .name = "reld-c" + std::to_string(c),
+        .description =
+            "preset: RELD with " + std::to_string(c) + " queues per thread",
+        .tunables = std::move(t),
+        .make =
+            [c](unsigned threads, const ParamMap& params) {
+              ParamMap preset = params;
+              preset.set("c", std::to_string(c));
+              std::shared_ptr<Topology> topo;
+              const ReldConfig cfg = make_reld_config(threads, preset, topo);
+              auto any = AnyScheduler::make<ReldQueue>(threads, cfg);
+              if (topo) any.attach(std::move(topo));
+              return any;
+            },
+    });
+  }
 }
 
 }  // namespace

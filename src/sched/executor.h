@@ -239,6 +239,11 @@ RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
 
   RunResult result;
   result.seconds = timer.seconds();
+  // Scheduler-private counters (steal and NUMA-remote tallies) merge
+  // into the per-thread slots only now, after the workers have joined.
+  for (unsigned tid = 0; tid < num_threads; ++tid) {
+    collect_stats_if_supported(sched, tid, stats.of(tid));
+  }
   result.stats = stats.total();
   return result;
 }

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "sched/stats.h"
 #include "sched/task.h"
 
 namespace smq {
@@ -44,6 +45,23 @@ concept BatchPopScheduler =
     requires(S s, unsigned tid, std::vector<Task>& out, std::size_t max) {
       { s.try_pop_batch(tid, out, max) } -> std::convertible_to<std::size_t>;
     };
+
+/// Schedulers that keep their own per-thread counters (steals, NUMA
+/// remote touches, ...) and can fold them into the executor's
+/// ThreadStats after a run. The executor calls this once per thread,
+/// after the workers have joined, so implementations need no
+/// synchronization beyond plain reads of their own slots.
+template <typename S>
+concept StatReportingScheduler =
+    PriorityScheduler<S> && requires(const S s, unsigned tid, ThreadStats& st) {
+      { s.collect_stats(tid, st) } -> std::same_as<void>;
+    };
+
+/// Merge scheduler-private counters into `st` if the scheduler has any.
+template <PriorityScheduler S>
+void collect_stats_if_supported(const S& sched, unsigned tid, ThreadStats& st) {
+  if constexpr (StatReportingScheduler<S>) sched.collect_stats(tid, st);
+}
 
 /// Flush local insert buffers if the scheduler has any.
 template <PriorityScheduler S>

@@ -20,7 +20,21 @@ struct ThreadStats {
   std::uint64_t wasted = 0;      // stale tasks (algorithm-defined)
   std::uint64_t steals = 0;      // successful steal batches (SMQ / OBIM)
   std::uint64_t steal_fails = 0;
+  // NUMA attribution (Section 4): queue choices routed through a
+  // topology-aware QueueSampler, and how many landed out of node. Both
+  // stay zero under UMA, so remote_frac() distinguishes "no NUMA" from
+  // "NUMA but perfectly local".
+  std::uint64_t sampled_accesses = 0;
   std::uint64_t remote_accesses = 0;  // out-of-NUMA-node queue touches
+
+  /// Fraction of sampled queue touches that crossed node boundaries;
+  /// the measured counterpart of 1 - E (Topology's analytic metric).
+  double remote_frac() const noexcept {
+    return sampled_accesses == 0
+               ? 0.0
+               : static_cast<double>(remote_accesses) /
+                     static_cast<double>(sampled_accesses);
+  }
 
   ThreadStats& operator+=(const ThreadStats& o) noexcept {
     pushes += o.pushes;
@@ -29,6 +43,7 @@ struct ThreadStats {
     wasted += o.wasted;
     steals += o.steals;
     steal_fails += o.steal_fails;
+    sampled_accesses += o.sampled_accesses;
     remote_accesses += o.remote_accesses;
     return *this;
   }

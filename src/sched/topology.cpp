@@ -1,18 +1,34 @@
 #include "sched/topology.h"
 
+#include <cassert>
+
 namespace smq {
 
 Topology::Topology(unsigned num_threads, unsigned num_nodes)
     : num_threads_(num_threads),
       num_nodes_(num_nodes == 0 ? 1 : num_nodes),
-      thread_node_(num_threads),
-      node_threads_(num_nodes_ == 0 ? 1 : num_nodes_) {
-  // Blocked assignment: contiguous thread-id ranges share a node.
-  const unsigned per_node = (num_threads + num_nodes_ - 1) / num_nodes_;
-  for (unsigned tid = 0; tid < num_threads; ++tid) {
-    const unsigned node = per_node == 0 ? 0 : tid / per_node;
-    thread_node_[tid] = node < num_nodes_ ? node : num_nodes_ - 1;
-    node_threads_[thread_node_[tid]].push_back(tid);
+      thread_node_(num_threads) {
+  // A node with no threads would own no queues and break every
+  // per-node invariant downstream (sampler groups, bag sharding).
+  if (num_threads_ > 0 && num_nodes_ > num_threads_) num_nodes_ = num_threads_;
+  node_threads_.resize(num_nodes_);
+  // Balanced blocked assignment: contiguous thread-id ranges share a
+  // node, the first T % N nodes take one extra thread. Plain ceil
+  // division left trailing nodes empty whenever T % N != 0 (6 threads
+  // over 4 nodes gave occupancy 2/2/2/0 instead of 2/2/1/1).
+  const unsigned base = num_nodes_ == 0 ? 0 : num_threads / num_nodes_;
+  const unsigned extra = num_nodes_ == 0 ? 0 : num_threads % num_nodes_;
+  unsigned tid = 0;
+  for (unsigned node = 0; node < num_nodes_; ++node) {
+    const unsigned span = base + (node < extra ? 1 : 0);
+    for (unsigned i = 0; i < span; ++i, ++tid) {
+      thread_node_[tid] = node;
+      node_threads_[node].push_back(tid);
+    }
+  }
+  assert(tid == num_threads_ && "every thread must land on exactly one node");
+  for (unsigned node = 0; num_threads_ > 0 && node < num_nodes_; ++node) {
+    assert(!node_threads_[node].empty() && "no node may be left empty");
   }
 }
 

@@ -16,8 +16,10 @@ namespace smq {
 class Topology {
  public:
   /// Partition `num_threads` threads into `num_nodes` virtual NUMA nodes,
-  /// blocked (threads [0, T/N) on node 0, ...), mirroring how cores are
-  /// numbered on the paper's EPYC/Xeon machines.
+  /// blocked (threads [0, ceil/floor splits) on node 0, ...), mirroring
+  /// how cores are numbered on the paper's EPYC/Xeon machines. The split
+  /// is balanced: node occupancies differ by at most one, and no node is
+  /// ever left empty (num_nodes is clamped to num_threads).
   Topology(unsigned num_threads, unsigned num_nodes);
 
   /// Single-node fallback (UMA).

@@ -59,6 +59,17 @@ double env_double(const char* name, double fallback) {
   return v ? std::strtod(v, nullptr) : fallback;
 }
 
+std::vector<std::string> split_list(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (std::size_t pos = 0; pos <= text.size();) {
+    std::size_t end = text.find(sep, pos);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > pos) out.emplace_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

@@ -37,6 +37,11 @@ class ArgParser {
 std::int64_t env_int(const char* name, std::int64_t fallback);
 double env_double(const char* name, double fallback);
 
+/// Split `text` on `sep`, dropping empty segments — the list syntax of
+/// every CLI value here ("smq,mq", "nodes=1,2,4", "1,8,64"). One
+/// definition so the parsers' edge cases cannot drift apart.
+std::vector<std::string> split_list(std::string_view text, char sep);
+
 /// Fixed-width ASCII table, paper-style: header row, then data rows.
 class TablePrinter {
  public:

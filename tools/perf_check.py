@@ -1,29 +1,54 @@
 #!/usr/bin/env python3
-"""CI perf gate: compare an smq_run --json sweep against a baseline.
+"""CI perf gate: compare smq_run --json sweeps against a baseline.
 
 Usage:
     perf_check.py --baseline bench/baselines/BENCH_baseline.json \
-                  --current results.json [--max-regression 0.15]
+                  --current results.json [--current more.json ...] \
+                  [--max-regression 0.15]
     perf_check.py --baseline ... --current ... --write-baseline
 
-Rows are matched on (scheduler, threads, dispatch). The compared metric
-is `speedup_vs_seq` (parallel throughput normalized by the sequential
+A baseline file is either a single smq_run report (object) or a list of
+reports — one per pinned sweep (e.g. sssp and bfs). Every --current file
+contributes one report (or a list); rows are matched on the sweep
+identity (algorithm, graph, numa grid — taken from the row's report)
+plus (scheduler, threads, dispatch[, numa point]), so several sweeps of
+the same algorithm can be gated side by side. The compared metric is
+`speedup_vs_seq` (parallel throughput normalized by the sequential
 oracle measured *in the same run*), which cancels out absolute machine
 speed so a baseline recorded on one machine gates runs on another. Rows
 missing the metric fall back to tasks/second, which is only meaningful
 when baseline and current ran on comparable hardware.
+
+--write-baseline merges the current reports into a single list-form
+baseline file.
 
 Exit codes: 0 ok, 1 regression (or invalid result), 2 usage error.
 """
 
 import argparse
 import json
-import shutil
+import os
 import sys
 
 
-def row_key(row):
-    return (row["scheduler"], row["threads"], row.get("dispatch", "virtual"))
+def sweep_id(report):
+    """What distinguishes one pinned sweep from another: the algorithm,
+    the resolved graph, and the NUMA grid (if any)."""
+    return (
+        report.get("algorithm", "?"),
+        report.get("graph", {}).get("name", "?"),
+        report.get("numa_grid", ""),
+    )
+
+
+def row_key(report, row):
+    return sweep_id(report) + (
+        row["scheduler"],
+        row["threads"],
+        row.get("dispatch", "virtual"),
+        row.get("numa_nodes", 0),
+        row.get("numa_k", 0),
+    )
 
 
 def metric_of(row):
@@ -38,35 +63,69 @@ def metric_of(row):
     return None, None
 
 
-def load_rows(path):
+def load_reports(path):
+    """The list of smq_run reports in `path` (object or list form)."""
     try:
         with open(path) as f:
-            report = json.load(f)
+            data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"perf_check: cannot read {path}: {e}")
-    rows = report.get("results")
-    if not isinstance(rows, list) or not rows:
-        sys.exit(f"perf_check: {path} has no results[]")
-    return report, {row_key(r): r for r in rows}
+    reports = data if isinstance(data, list) else [data]
+    for report in reports:
+        if not isinstance(report.get("results"), list) or not report["results"]:
+            sys.exit(f"perf_check: {path} has a report with no results[]")
+    return reports
+
+
+def rows_of(reports, origin):
+    rows = {}
+    for report in reports:
+        for row in report["results"]:
+            key = row_key(report, row)
+            if key in rows:
+                sys.exit(f"perf_check: duplicate row {key} in {origin}")
+            rows[key] = row
+    return rows
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
+    ap.add_argument("--current", required=True, action="append",
+                    help="current report file; repeatable, one per sweep")
     ap.add_argument("--max-regression", type=float, default=0.15,
                     help="fail when current < baseline * (1 - this)")
     ap.add_argument("--write-baseline", action="store_true",
-                    help="copy current over baseline instead of gating")
+                    help="merge current reports over baseline instead of "
+                         "gating")
     args = ap.parse_args()
 
+    current_reports = []
+    for path in args.current:
+        current_reports.extend(load_reports(path))
+
     if args.write_baseline:
-        shutil.copyfile(args.current, args.baseline)
-        print(f"perf_check: wrote {args.baseline} from {args.current}")
+        # Merge over the existing baseline: a current report replaces
+        # the baseline report for the same sweep (algorithm + graph +
+        # grid), every other sweep is retained — refreshing one sweep
+        # must not drop the gate on the others.
+        refreshed = {sweep_id(r) for r in current_reports}
+        merged = []
+        if os.path.exists(args.baseline):
+            merged = [r for r in load_reports(args.baseline)
+                      if sweep_id(r) not in refreshed]
+        merged.extend(current_reports)
+        with open(args.baseline, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+        print(f"perf_check: wrote {args.baseline} "
+              f"({len(merged)} reports; refreshed "
+              f"{', '.join('/'.join(s) for s in sorted(refreshed))}) from "
+              f"{', '.join(args.current)}")
         return 0
 
-    _, baseline = load_rows(args.baseline)
-    current_report, current = load_rows(args.current)
+    baseline = rows_of(load_reports(args.baseline), args.baseline)
+    current = rows_of(current_reports, ", ".join(args.current))
 
     failures = []
     compared = 0

@@ -10,9 +10,16 @@
 //   smq_run --sched all --algo sssp --graph road --vertices 20000
 //           --threads 1,4 --reps 3 --json results.json
 //   smq_run --sched smq,mq-opt --dispatch static --graph-cache /tmp/graphs
+//   smq_run --sched smq --algo sssp --numa-grid nodes=1,2,4:k=1,4,8,16
 //
 // Scheduler/algorithm/graph tunables (see --list) are passed as plain
 // --key value options: --sched smq --steal-size 4 --p-steal 1/8 --numa k=8
+//
+// --numa-grid crosses a simulated-NUMA sweep (virtual node counts x
+// remote-weight divisors K, Section 4 / Tables 16-27) with the
+// scheduler x threads sweep: the Topology is rebuilt per grid point and
+// every row reports the measured remote-access fraction next to the
+// analytic expectation E.
 //
 // --dispatch selects how the executor crosses the scheduler boundary:
 //   virtual  one AnyScheduler virtual call per push/pop (default)
@@ -20,6 +27,7 @@
 //   static   directly instantiated concrete scheduler, no erasure
 //            (hot keys only — see static_dispatch.h; others fall back
 //            to virtual and say so)
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -29,6 +37,7 @@
 #include "registry/algorithm_registry.h"
 #include "registry/graph_registry.h"
 #include "registry/listing.h"
+#include "registry/numa_grid.h"
 #include "registry/scheduler_registry.h"
 #include "registry/static_dispatch.h"
 #include "support/cli.h"
@@ -38,35 +47,28 @@ namespace {
 
 using namespace smq;
 
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  for (std::size_t pos = 0; pos < csv.size();) {
-    std::size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) comma = csv.size();
-    if (comma > pos) out.push_back(csv.substr(pos, comma - pos));
-    pos = comma + 1;
-  }
-  return out;
-}
-
 struct ResultRow {
   std::string scheduler;
   unsigned requested_threads = 0;
   unsigned threads = 0;  // effective (clamped) count
   DispatchMode dispatch = DispatchMode::kVirtual;  // actually used
+  NumaGridPoint numa;       // this row's grid point (inactive w/o a grid)
+  bool numa_grid = false;   // row came from a --numa-grid sweep
   AlgoResult result;
   int reps = 1;
 };
 
 void write_json(std::ostream& os, const std::string& algo_name,
                 const GraphInstance& graph, const ParamMap& params,
-                DispatchMode requested_dispatch, const AlgoReference* ref,
+                DispatchMode requested_dispatch,
+                const std::string& numa_grid_spec, const AlgoReference* ref,
                 const std::vector<ResultRow>& rows) {
   JsonWriter json(os);
   json.begin_object();
   json.member("tool", "smq_run");
   json.member("algorithm", algo_name);
   json.member("dispatch", std::string(to_string(requested_dispatch)));
+  if (!numa_grid_spec.empty()) json.member("numa_grid", numa_grid_spec);
 
   json.key("graph").begin_object();
   json.member("name", graph.name);
@@ -88,6 +90,7 @@ void write_json(std::ostream& os, const std::string& algo_name,
 
   json.key("results").begin_array();
   for (const ResultRow& row : rows) {
+    const ThreadStats& stats = row.result.run.stats;
     json.begin_object();
     json.member("scheduler", row.scheduler);
     json.member("threads", row.threads);
@@ -95,11 +98,23 @@ void write_json(std::ostream& os, const std::string& algo_name,
       json.member("requested_threads", row.requested_threads);
     }
     json.member("dispatch", std::string(to_string(row.dispatch)));
+    if (row.numa_grid) {
+      json.member("numa_nodes", row.numa.nodes);
+      if (row.numa.k_set) json.member("numa_k", row.numa.k);
+      json.member("internal_frac_expected",
+                  expected_internal_fraction(row.numa, row.threads));
+    }
     json.member("seconds", row.result.run.seconds);
-    json.member("tasks", row.result.run.stats.pops);
-    json.member("wasted", row.result.run.stats.wasted);
-    json.member("pushes", row.result.run.stats.pushes);
-    json.member("empty_pops", row.result.run.stats.empty_pops);
+    json.member("tasks", stats.pops);
+    json.member("wasted", stats.wasted);
+    json.member("pushes", stats.pushes);
+    json.member("empty_pops", stats.empty_pops);
+    json.member("steals", stats.steals);
+    if (stats.sampled_accesses > 0) {
+      json.member("sampled_accesses", stats.sampled_accesses);
+      json.member("remote_accesses", stats.remote_accesses);
+      json.member("remote_frac", stats.remote_frac());
+    }
     if (ref != nullptr && ref->reference_tasks > 0) {
       json.member("work_increase",
                   row.result.run.work_increase(ref->reference_tasks));
@@ -130,7 +145,9 @@ int run(int argc, char** argv) {
            "[--no-validate]\n"
            "               [--dispatch virtual|batched|static] "
            "[--batch-size N]\n"
-           "               [--graph-cache DIR] [--<tunable> VALUE ...]\n\n"
+           "               [--numa-grid nodes=N,..:k=K,..] "
+           "[--graph-cache DIR]\n"
+           "               [--<tunable> VALUE ...]\n\n"
            "Runs algorithm x scheduler x threads sweeps over a graph and "
            "prints a table\nplus optional JSON. `--list` shows every "
            "registered scheduler, algorithm and\ngraph source with its "
@@ -138,7 +155,9 @@ int run(int argc, char** argv) {
            "(virtual erasure, batched erasure, or concrete static "
            "instantiation);\n`--graph-cache DIR` caches generated graphs "
            "as binary CSR keyed by their\nparameters so repeated sweeps "
-           "skip generation.\n";
+           "skip generation; `--numa-grid` crosses the sweep\nwith "
+           "simulated-NUMA grid points (nodes x K), each row reporting "
+           "its measured\nremote-access fraction.\n";
     return 0;
   }
   if (args.has_flag("list")) {
@@ -199,7 +218,7 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<std::string> sched_names = split_csv(args.get("sched", "smq"));
+  std::vector<std::string> sched_names = split_list(args.get("sched", "smq"), ',');
   if (sched_names.size() == 1 && sched_names[0] == "all") {
     sched_names = SchedulerRegistry::instance().names();
   }
@@ -211,7 +230,7 @@ int run(int argc, char** argv) {
   }
 
   std::vector<unsigned> thread_counts;
-  for (const std::string& t : split_csv(args.get("threads", "4"))) {
+  for (const std::string& t : split_list(args.get("threads", "4"), ',')) {
     const long n = std::strtol(t.c_str(), nullptr, 10);
     if (n <= 0) {
       std::cerr << "bad thread count: " << t << "\n";
@@ -222,6 +241,21 @@ int run(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps", 1));
   const bool validate = !args.has_flag("no-validate");
 
+  // ---- NUMA grid -------------------------------------------------------
+  // Without --numa-grid the sweep has a single inactive point that
+  // leaves the params (and any manual --numa) untouched.
+  const std::string numa_grid_spec = args.get("numa-grid");
+  std::vector<NumaGridPoint> numa_grid{NumaGridPoint{}};
+  const bool grid_active = !numa_grid_spec.empty();
+  if (grid_active) {
+    try {
+      numa_grid = parse_numa_grid(numa_grid_spec);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
   std::cout << "graph: " << graph.name << " (" << graph.graph->num_vertices()
             << " vertices, " << graph.graph->num_edges() << " edges)\n"
             << "algorithm: " << algo_name << "\n"
@@ -230,6 +264,10 @@ int run(int argc, char** argv) {
     std::cout << " (batch-size " << params.get("batch-size") << ")";
   }
   std::cout << "\n";
+  if (grid_active) {
+    std::cout << "numa grid: " << numa_grid_spec << " (" << numa_grid.size()
+              << " points)\n";
+  }
 
   // ---- sequential oracle ----------------------------------------------
   AlgoReference reference;
@@ -262,44 +300,75 @@ int run(int argc, char** argv) {
                 << "'; running it virtual\n";
       row_dispatch = DispatchMode::kVirtual;
     }
-    for (const unsigned requested : thread_counts) {
-      const unsigned threads = effective_threads(*entry, requested);
-      ResultRow row;
-      row.scheduler = name;
-      row.requested_threads = requested;
-      row.threads = threads;
-      row.dispatch = row_dispatch;
-      row.reps = std::max(1, reps);
-      for (int rep = 0; rep < row.reps; ++rep) {
-        AlgoResult result;
-        std::optional<AlgoResult> static_result;
-        if (row_dispatch == DispatchMode::kStatic) {
-          static_result =
-              run_static_dispatch(name, algo_name, graph, threads, params,
-                                  have_reference ? &reference : nullptr);
-        }
-        if (static_result) {
-          result = *static_result;
-        } else {
-          AnyScheduler sched = entry->make(threads, params);
-          result = algo->run(graph, sched, threads, params,
-                             have_reference ? &reference : nullptr);
-        }
-        const bool better = rep == 0 ||
-                            (result.valid && !row.result.valid) ||
-                            (result.valid == row.result.valid &&
-                             result.run.seconds < row.result.run.seconds);
-        if (better) row.result = result;
+    // Schedulers that do not take the `numa` tunable (their factories
+    // ignore it) run once, not once per grid point — rows claiming a
+    // topology that never applied would poison the trajectory.
+    const bool supports_numa =
+        std::any_of(entry->tunables.begin(), entry->tunables.end(),
+                    [](const Tunable& t) { return t.name == "numa"; });
+    if (grid_active && !supports_numa) {
+      std::cerr << "note: '" << name << "' takes no numa tunable; running "
+                << "it once without the grid\n";
+    }
+    bool ran_without_grid = false;
+    for (const NumaGridPoint& point : numa_grid) {
+      const bool apply_grid = grid_active && supports_numa;
+      if (grid_active && !supports_numa) {
+        if (ran_without_grid) break;
+        ran_without_grid = true;
       }
-      if (row.result.validated && !row.result.valid) any_invalid = true;
-      rows.push_back(std::move(row));
+      // Each grid point rewrites the `numa` tunable, so the scheduler
+      // factory rebuilds the simulated Topology for it.
+      ParamMap run_params = params;
+      if (apply_grid) apply_numa_point(run_params, point);
+      for (const unsigned requested : thread_counts) {
+        const unsigned threads = effective_threads(*entry, requested);
+        ResultRow row;
+        row.scheduler = name;
+        row.requested_threads = requested;
+        row.threads = threads;
+        row.dispatch = row_dispatch;
+        row.numa = apply_grid ? point : NumaGridPoint{};
+        // The topology clamps nodes to the thread count (no empty
+        // nodes); report the configuration that actually ran, so the
+        // row's analytic E and measured remote_frac stay consistent.
+        if (row.numa.nodes > threads) row.numa.nodes = threads;
+        row.numa_grid = apply_grid;
+        row.reps = std::max(1, reps);
+        for (int rep = 0; rep < row.reps; ++rep) {
+          AlgoResult result;
+          std::optional<AlgoResult> static_result;
+          if (row_dispatch == DispatchMode::kStatic) {
+            static_result =
+                run_static_dispatch(name, algo_name, graph, threads,
+                                    run_params,
+                                    have_reference ? &reference : nullptr);
+          }
+          if (static_result) {
+            result = *static_result;
+          } else {
+            AnyScheduler sched = entry->make(threads, run_params);
+            result = algo->run(graph, sched, threads, run_params,
+                               have_reference ? &reference : nullptr);
+          }
+          const bool better = rep == 0 ||
+                              (result.valid && !row.result.valid) ||
+                              (result.valid == row.result.valid &&
+                               result.run.seconds < row.result.run.seconds);
+          if (better) row.result = result;
+        }
+        if (row.result.validated && !row.result.valid) any_invalid = true;
+        rows.push_back(std::move(row));
+      }
     }
   }
 
   // ---- ASCII table -----------------------------------------------------
-  TablePrinter table({"scheduler", "threads", "dispatch", "time ms", "tasks",
-                      "wasted", "work inc", "speedup", "valid"});
+  TablePrinter table({"scheduler", "threads", "dispatch", "numa", "time ms",
+                      "tasks", "wasted", "work inc", "speedup", "remote",
+                      "valid"});
   for (const ResultRow& row : rows) {
+    const ThreadStats& stats = row.result.run.stats;
     const double work_inc =
         have_reference && reference.reference_tasks > 0
             ? row.result.run.work_increase(reference.reference_tasks)
@@ -311,11 +380,13 @@ int run(int argc, char** argv) {
     table.add_row(
         {row.scheduler, std::to_string(row.threads),
          std::string(to_string(row.dispatch)),
+         row.numa_grid ? row.numa.label() : params.get("numa", "-"),
          TablePrinter::fmt(row.result.run.seconds * 1e3),
-         std::to_string(row.result.run.stats.pops),
-         std::to_string(row.result.run.stats.wasted),
+         std::to_string(stats.pops), std::to_string(stats.wasted),
          have_reference ? TablePrinter::fmt(work_inc) : "-",
          have_reference ? TablePrinter::fmt(speedup) : "-",
+         stats.sampled_accesses > 0 ? TablePrinter::fmt(stats.remote_frac())
+                                    : "-",
          row.result.validated ? (row.result.valid ? "yes" : "NO") : "-"});
   }
   table.print(std::cout);
@@ -324,7 +395,7 @@ int run(int argc, char** argv) {
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
     if (json_path == "-") {
-      write_json(std::cout, algo_name, graph, params, mode,
+      write_json(std::cout, algo_name, graph, params, mode, numa_grid_spec,
                  have_reference ? &reference : nullptr, rows);
     } else {
       std::ofstream out(json_path);
@@ -332,7 +403,7 @@ int run(int argc, char** argv) {
         std::cerr << "cannot write " << json_path << "\n";
         return 2;
       }
-      write_json(out, algo_name, graph, params, mode,
+      write_json(out, algo_name, graph, params, mode, numa_grid_spec,
                  have_reference ? &reference : nullptr, rows);
       std::cout << "\nwrote " << json_path << "\n";
     }
