@@ -1,97 +1,10 @@
-// Figures 15-16 (Appendix C.9): head-to-head of the four classic-MQ
-// optimization combos at representative parameter settings, plus the
-// unoptimized classic MQ, per benchmark.
-#include <iostream>
-
-#include "harness/bench_main.h"
-
-namespace {
-
-using namespace smq;
-using namespace smq::bench;
-
-std::vector<SchedulerSpec> combos() {
-  std::vector<SchedulerSpec> specs;
-  {
-    SchedulerSpec s;
-    s.kind = SchedKind::kClassicMq;
-    s.label = "classic";
-    specs.push_back(s);
-  }
-  {
-    SchedulerSpec s;
-    s.kind = SchedKind::kOptimizedMq;
-    s.label = "TL / TL";
-    s.insert_policy = InsertPolicy::kTemporalLocality;
-    s.delete_policy = DeletePolicy::kTemporalLocality;
-    s.p_insert_change = 1.0 / 16;
-    s.p_delete_change = 1.0 / 16;
-    specs.push_back(s);
-  }
-  {
-    SchedulerSpec s;
-    s.kind = SchedKind::kOptimizedMq;
-    s.label = "TL / Batch";
-    s.insert_policy = InsertPolicy::kTemporalLocality;
-    s.delete_policy = DeletePolicy::kBatching;
-    s.p_insert_change = 1.0 / 16;
-    s.delete_batch = 16;
-    specs.push_back(s);
-  }
-  {
-    SchedulerSpec s;
-    s.kind = SchedKind::kOptimizedMq;
-    s.label = "Batch / TL";
-    s.insert_policy = InsertPolicy::kBatching;
-    s.delete_policy = DeletePolicy::kTemporalLocality;
-    s.insert_batch = 16;
-    s.p_delete_change = 1.0 / 16;
-    specs.push_back(s);
-  }
-  {
-    SchedulerSpec s;
-    s.kind = SchedKind::kOptimizedMq;
-    s.label = "Batch / Batch";
-    s.insert_policy = InsertPolicy::kBatching;
-    s.delete_policy = DeletePolicy::kBatching;
-    s.insert_batch = 16;
-    s.delete_batch = 16;
-    specs.push_back(s);
-  }
-  return specs;
-}
-
-}  // namespace
+// Figures 15-16 (Appendix C.9): head-to-head of the classic-MQ
+// optimization combos at representative parameter settings (p = 1/16,
+// buffers of 16) — a thin wrapper over the `fig15_16` suite expansion
+// (registry/suites.h): the mq-opt-{none,stick,buf,full} ablation stack
+// plus the TL/B combo. Identical to `smq_run --suite fig15_16`.
+#include "registry/suite_runner.h"
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = parse_bench_options(argc, argv);
-  print_preamble("Figures 15-16: MQ optimization combo comparison", opts);
-
-  std::vector<Workload> workloads =
-      opts.full ? standard_workloads(opts.subset) : quick_workloads();
-
-  TablePrinter table(
-      {"benchmark", "classic", "TL/TL", "TL/B", "B/TL", "B/B",
-       "best work"});
-  for (Workload& w : workloads) {
-    std::vector<std::string> row{w.name};
-    double best_speed = 0;
-    double best_work = 0;
-    for (const SchedulerSpec& spec : combos()) {
-      const Measurement m =
-          run_measurement(w, spec, opts.max_threads, opts.repetitions);
-      row.push_back(m.valid ? TablePrinter::fmt(m.speedup_vs_seq)
-                            : "INVALID");
-      if (m.speedup_vs_seq > best_speed) {
-        best_speed = m.speedup_vs_seq;
-        best_work = m.work_increase;
-      }
-    }
-    row.push_back(TablePrinter::fmt(best_work));
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-  std::cout << "\nspeedup vs sequential exact PQ at " << opts.max_threads
-            << " threads.\n";
-  return 0;
+  return smq::run_suite_main("fig15_16", argc, argv);
 }

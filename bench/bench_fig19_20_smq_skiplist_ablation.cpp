@@ -1,77 +1,11 @@
-// Figures 19-20 / Tables 14-15 (Appendix D.3-D.4): the SMQ ablation with
-// skip-list local queues — p_steal x steal-buffer size, speedup and work
-// increase vs classic MQ (C = 4). The paper finds the skip-list variant
-// consistently slower than the d-ary-heap variant; this bench pairs each
-// cell with the heap variant's number so the gap is visible.
-#include <iostream>
-
-#include "harness/bench_main.h"
+// Figures 19-20 / Tables 14-15 (Appendix D.3-D.4): the SMQ ablation
+// with skip-list local queues, paired with the d-ary-heap variant at
+// the same p_steal x steal-size grid so the gap is visible — a thin
+// wrapper over the `fig19_20` suite expansion (registry/suites.h): the
+// smq-sl-p* and smq-p* presets x steal-size grid. Identical to
+// `smq_run --suite fig19_20`.
+#include "registry/suite_runner.h"
 
 int main(int argc, char** argv) {
-  using namespace smq;
-  using namespace smq::bench;
-  const BenchOptions opts = parse_bench_options(argc, argv);
-  print_preamble(
-      "Figures 19-20 / Tables 14-15: SMQ(skip-list) ablation", opts);
-
-  const std::vector<double> steal_probs =
-      opts.full ? std::vector<double>{1.0 / 2, 1.0 / 4, 1.0 / 8, 1.0 / 16,
-                                      1.0 / 32}
-                : std::vector<double>{1.0 / 4, 1.0 / 16};
-  const std::vector<std::size_t> buffer_sizes =
-      opts.full ? std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64}
-                : std::vector<std::size_t>{1, 8, 64};
-  std::vector<Workload> workloads =
-      opts.full ? standard_workloads(opts.subset) : quick_workloads();
-
-  for (Workload& w : workloads) {
-    SchedulerSpec baseline;
-    baseline.kind = SchedKind::kClassicMq;
-    baseline.mq_c = 4;
-    const Measurement base =
-        run_measurement(w, baseline, opts.max_threads, opts.repetitions);
-    std::cout << w.name << " (baseline MQ C=4: "
-              << TablePrinter::fmt(base.seconds * 1e3) << " ms)\n";
-
-    std::vector<std::string> headers{"p_steal \\ size"};
-    for (std::size_t s : buffer_sizes) headers.push_back(std::to_string(s));
-    TablePrinter speedups(headers);
-    TablePrinter work(headers);
-    double best_skip = 0, heap_at_best = 0;
-    for (double p : steal_probs) {
-      std::vector<std::string> srow{
-          "1/" + std::to_string(static_cast<int>(1.0 / p))};
-      std::vector<std::string> wrow = srow;
-      for (std::size_t size : buffer_sizes) {
-        SchedulerSpec spec;
-        spec.kind = SchedKind::kSmqSkipList;
-        spec.p_steal = p;
-        spec.steal_size = size;
-        const Measurement m =
-            run_measurement(w, spec, opts.max_threads, opts.repetitions);
-        const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0;
-        srow.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
-        wrow.push_back(TablePrinter::fmt(m.work_increase));
-        if (speedup > best_skip) {
-          best_skip = speedup;
-          SchedulerSpec heap_spec = spec;
-          heap_spec.kind = SchedKind::kSmqHeap;
-          const Measurement h = run_measurement(w, heap_spec,
-                                                opts.max_threads,
-                                                opts.repetitions);
-          heap_at_best = h.seconds > 0 ? base.seconds / h.seconds : 0;
-        }
-      }
-      speedups.add_row(std::move(srow));
-      work.add_row(std::move(wrow));
-    }
-    std::cout << "speedup vs MQ(C=4):\n";
-    speedups.print(std::cout);
-    std::cout << "work increase:\n";
-    work.print(std::cout);
-    std::cout << "best skip-list cell: " << TablePrinter::fmt(best_skip)
-              << "x; d-ary heap at same parameters: "
-              << TablePrinter::fmt(heap_at_best) << "x\n\n";
-  }
-  return 0;
+  return smq::run_suite_main("fig19_20", argc, argv);
 }

@@ -1,78 +1,11 @@
 // Figure 1 (+ Appendix D.1-D.2, Figures 17-18, Tables 12-13): ablation
-// of the SMQ's stealing probability p_steal and steal-buffer size, in
-// terms of speedup and work increase relative to the classic Multi-Queue
-// with C = 4 at the same thread count — the paper's heatmaps, printed as
-// one table per benchmark with the best cell starred.
-#include <iostream>
-
-#include "harness/bench_main.h"
+// of the SMQ's stealing probability p_steal and steal-buffer size vs the
+// classic Multi-Queue with C = 4 — a thin wrapper over the `fig1` suite
+// expansion (registry/suites.h): the smq-p* presets x steal-size grid,
+// run through the shared registry runners. Identical to
+// `smq_run --suite fig1`.
+#include "registry/suite_runner.h"
 
 int main(int argc, char** argv) {
-  using namespace smq;
-  using namespace smq::bench;
-  const BenchOptions opts = parse_bench_options(argc, argv);
-  print_preamble(
-      "Figure 1 / Figures 17-18 / Tables 12-13: SMQ(heap) ablation", opts);
-
-  const std::vector<double> steal_probs =
-      opts.full
-          ? std::vector<double>{1.0 / 2, 1.0 / 4, 1.0 / 8, 1.0 / 16,
-                                1.0 / 32, 1.0 / 64}
-          : std::vector<double>{1.0 / 2, 1.0 / 8, 1.0 / 32};
-  const std::vector<std::size_t> buffer_sizes =
-      opts.full ? std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128}
-                : std::vector<std::size_t>{1, 4, 32};
-  std::vector<Workload> workloads =
-      opts.full ? standard_workloads(opts.subset) : quick_workloads();
-
-  for (Workload& w : workloads) {
-    // Paper baseline: classic MQ, C = 4, same thread count.
-    SchedulerSpec baseline;
-    baseline.kind = SchedKind::kClassicMq;
-    baseline.mq_c = 4;
-    const Measurement base =
-        run_measurement(w, baseline, opts.max_threads, opts.repetitions);
-
-    std::cout << w.name << " (baseline MQ C=4: "
-              << TablePrinter::fmt(base.seconds * 1e3) << " ms, work "
-              << TablePrinter::fmt(base.work_increase) << ")\n";
-
-    std::vector<std::string> headers{"p_steal \\ size"};
-    for (std::size_t s : buffer_sizes) headers.push_back(std::to_string(s));
-    TablePrinter speedups(headers);
-    TablePrinter work(headers);
-
-    double best = 0;
-    std::string best_cell;
-    for (double p : steal_probs) {
-      std::vector<std::string> srow{"1/" + std::to_string(
-                                              static_cast<int>(1.0 / p))};
-      std::vector<std::string> wrow = srow;
-      for (std::size_t size : buffer_sizes) {
-        SchedulerSpec spec;
-        spec.kind = SchedKind::kSmqHeap;
-        spec.p_steal = p;
-        spec.steal_size = size;
-        const Measurement m =
-            run_measurement(w, spec, opts.max_threads, opts.repetitions);
-        const double speedup =
-            m.seconds > 0 ? base.seconds / m.seconds : 0;
-        srow.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
-        wrow.push_back(TablePrinter::fmt(m.work_increase));
-        if (speedup > best) {
-          best = speedup;
-          best_cell = srow.front() + " x " + std::to_string(size);
-        }
-      }
-      speedups.add_row(std::move(srow));
-      work.add_row(std::move(wrow));
-    }
-    std::cout << "speedup vs MQ(C=4) @" << opts.max_threads << " threads:\n";
-    speedups.print(std::cout);
-    std::cout << "work increase vs sequential:\n";
-    work.print(std::cout);
-    std::cout << "best configuration: " << best_cell << " ("
-              << TablePrinter::fmt(best) << "x)\n\n";
-  }
-  return 0;
+  return smq::run_suite_main("fig1", argc, argv);
 }

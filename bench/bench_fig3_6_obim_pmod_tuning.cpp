@@ -1,80 +1,10 @@
-// Figures 3-6 (Appendix B): tuning heatmaps for OBIM and PMOD — delta
-// (bucket width, as log2) x CHUNK_SIZE, speedup vs the classic
-// Multi-Queue with C = 4 at the same thread count.
-#include <iostream>
-
-#include "harness/bench_main.h"
-
-namespace {
-
-using namespace smq;
-using namespace smq::bench;
-
-void sweep(Workload& w, SchedKind kind, const BenchOptions& opts,
-           const std::vector<unsigned>& shifts,
-           const std::vector<std::size_t>& chunks, double base_seconds) {
-  std::vector<std::string> headers{"delta \\ chunk"};
-  for (std::size_t c : chunks) headers.push_back(std::to_string(c));
-  TablePrinter speedups(headers);
-  TablePrinter work(headers);
-  double best = 0;
-  std::string best_cell = "-";
-  for (unsigned shift : shifts) {
-    std::vector<std::string> srow{"2^" + std::to_string(shift)};
-    std::vector<std::string> wrow = srow;
-    for (std::size_t chunk : chunks) {
-      SchedulerSpec spec;
-      spec.kind = kind;
-      spec.delta_shift = shift;
-      spec.chunk_size = chunk;
-      const Measurement m =
-          run_measurement(w, spec, opts.max_threads, opts.repetitions);
-      const double speedup = m.seconds > 0 ? base_seconds / m.seconds : 0;
-      srow.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
-      wrow.push_back(TablePrinter::fmt(m.work_increase));
-      if (speedup > best) {
-        best = speedup;
-        best_cell = "delta 2^" + std::to_string(shift) + ", chunk " +
-                    std::to_string(chunk);
-      }
-    }
-    speedups.add_row(std::move(srow));
-    work.add_row(std::move(wrow));
-  }
-  std::cout << sched_name(kind) << " speedup vs MQ(C=4):\n";
-  speedups.print(std::cout);
-  std::cout << sched_name(kind) << " work increase:\n";
-  work.print(std::cout);
-  std::cout << "best: " << best_cell << " (" << TablePrinter::fmt(best)
-            << "x)\n\n";
-}
-
-}  // namespace
+// Figures 3-6 (Appendix B): tuning study for OBIM and PMOD — delta
+// (bucket width, as log2) x CHUNK_SIZE — as a thin wrapper over the
+// `fig3_6` suite expansion (registry/suites.h): the obim-d*/pmod-d*
+// presets x chunk-size grid, run through the shared registry runners.
+// Identical to `smq_run --suite fig3_6`.
+#include "registry/suite_runner.h"
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = parse_bench_options(argc, argv);
-  print_preamble("Figures 3-6: OBIM and PMOD delta x CHUNK_SIZE tuning",
-                 opts);
-
-  const std::vector<unsigned> shifts =
-      opts.full ? std::vector<unsigned>{0, 2, 4, 6, 8, 10, 12, 14}
-                : std::vector<unsigned>{0, 4, 8, 12};
-  const std::vector<std::size_t> chunks =
-      opts.full ? std::vector<std::size_t>{8, 16, 32, 64, 128, 256}
-                : std::vector<std::size_t>{16, 64, 256};
-  std::vector<Workload> workloads =
-      opts.full ? standard_workloads(opts.subset) : quick_workloads();
-
-  for (Workload& w : workloads) {
-    SchedulerSpec baseline;
-    baseline.kind = SchedKind::kClassicMq;
-    baseline.mq_c = 4;
-    const Measurement base =
-        run_measurement(w, baseline, opts.max_threads, opts.repetitions);
-    std::cout << w.name << " (baseline MQ C=4: "
-              << TablePrinter::fmt(base.seconds * 1e3) << " ms)\n";
-    sweep(w, SchedKind::kObim, opts, shifts, chunks, base.seconds);
-    sweep(w, SchedKind::kPmod, opts, shifts, chunks, base.seconds);
-  }
-  return 0;
+  return smq::run_suite_main("fig3_6", argc, argv);
 }

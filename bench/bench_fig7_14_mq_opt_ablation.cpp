@@ -1,136 +1,11 @@
 // Figures 7-14 / Tables 4-11 (Appendix C): ablation of the classic
-// Multi-Queue optimizations. Four modes, selected with --mode:
-//   tl_tl : insert = temporal locality, delete = temporal locality
-//   tl_b  : insert = temporal locality, delete = task batching
-//   b_tl  : insert = task batching,     delete = temporal locality
-//   b_b   : insert = task batching,     delete = task batching
-// Sweeps the per-side parameter (change probability 1/2^k or batch size)
-// and reports speedup + work increase vs the classic MQ (C = 4).
-#include <iostream>
-
-#include "harness/bench_main.h"
-
-namespace {
-
-using namespace smq;
-using namespace smq::bench;
-
-struct Mode {
-  std::string name;
-  InsertPolicy insert;
-  DeletePolicy del;
-};
-
-std::vector<double> probability_grid(bool full) {
-  std::vector<double> grid;
-  for (int k = 0; k <= (full ? 10 : 8); k += full ? 2 : 4) {
-    grid.push_back(1.0 / static_cast<double>(1 << k));
-  }
-  return grid;  // 1/1 .. 1/1024
-}
-
-std::vector<std::size_t> batch_grid(bool full) {
-  std::vector<std::size_t> grid;
-  for (int k = 0; k <= (full ? 10 : 8); k += full ? 2 : 4) {
-    grid.push_back(std::size_t{1} << k);
-  }
-  return grid;  // 1 .. 1024
-}
-
-std::string param_label(bool batching, double p, std::size_t b) {
-  if (batching) return std::to_string(b);
-  return "1/" + std::to_string(static_cast<int>(1.0 / p));
-}
-
-}  // namespace
+// Multi-Queue optimizations along the figures' diagonal — the
+// temporal-locality stickiness sweep (mq-tl-p* presets) and the
+// task-batching buffer-size sweep (mq-opt-buf) — as a thin wrapper over
+// the `fig7_14` suite expansion (registry/suites.h). Identical to
+// `smq_run --suite fig7_14`.
+#include "registry/suite_runner.h"
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = parse_bench_options(argc, argv);
-  const ArgParser args(argc, argv);
-  const std::string mode_name = args.get("mode", "all");
-
-  const std::vector<Mode> all_modes{
-      {"tl_tl", InsertPolicy::kTemporalLocality, DeletePolicy::kTemporalLocality},
-      {"tl_b", InsertPolicy::kTemporalLocality, DeletePolicy::kBatching},
-      {"b_tl", InsertPolicy::kBatching, DeletePolicy::kTemporalLocality},
-      {"b_b", InsertPolicy::kBatching, DeletePolicy::kBatching},
-  };
-  std::vector<Mode> modes;
-  for (const Mode& m : all_modes) {
-    if (mode_name == "all" || mode_name == m.name) modes.push_back(m);
-  }
-  print_preamble(
-      "Figures 7-14 / Tables 4-11: classic MQ optimization ablation (mode=" +
-          mode_name + ")",
-      opts);
-
-  const std::vector<double> probs = probability_grid(opts.full);
-  const std::vector<std::size_t> batches = batch_grid(opts.full);
-  std::vector<Workload> workloads =
-      opts.full ? standard_workloads(opts.subset) : quick_workloads();
-
-  for (Workload& w : workloads) {
-    SchedulerSpec baseline;
-    baseline.kind = SchedKind::kClassicMq;
-    baseline.mq_c = 4;
-    const Measurement base =
-        run_measurement(w, baseline, opts.max_threads, opts.repetitions);
-    std::cout << w.name << " (baseline MQ C=4: "
-              << TablePrinter::fmt(base.seconds * 1e3) << " ms)\n";
-
-    for (const Mode& mode : modes) {
-      const bool insert_batching = mode.insert == InsertPolicy::kBatching;
-      const bool delete_batching = mode.del == DeletePolicy::kBatching;
-      const std::size_t rows = insert_batching ? batches.size() : probs.size();
-      const std::size_t cols = delete_batching ? batches.size() : probs.size();
-
-      std::vector<std::string> headers{
-          std::string(insert_batching ? "ins batch" : "p_ins") + " \\ " +
-          (delete_batching ? "del batch" : "p_del")};
-      for (std::size_t c = 0; c < cols; ++c) {
-        headers.push_back(param_label(delete_batching,
-                                      probs[std::min(c, probs.size() - 1)],
-                                      batches[std::min(c, batches.size() - 1)]));
-      }
-      TablePrinter speedups(headers);
-      TablePrinter work(headers);
-      double best = 0;
-      std::string best_cfg = "-";
-
-      for (std::size_t r = 0; r < rows; ++r) {
-        std::vector<std::string> srow{param_label(
-            insert_batching, probs[std::min(r, probs.size() - 1)],
-            batches[std::min(r, batches.size() - 1)])};
-        std::vector<std::string> wrow = srow;
-        for (std::size_t c = 0; c < cols; ++c) {
-          SchedulerSpec spec;
-          spec.kind = SchedKind::kOptimizedMq;
-          spec.insert_policy = mode.insert;
-          spec.delete_policy = mode.del;
-          spec.p_insert_change = probs[std::min(r, probs.size() - 1)];
-          spec.insert_batch = batches[std::min(r, batches.size() - 1)];
-          spec.p_delete_change = probs[std::min(c, probs.size() - 1)];
-          spec.delete_batch = batches[std::min(c, batches.size() - 1)];
-          const Measurement m =
-              run_measurement(w, spec, opts.max_threads, opts.repetitions);
-          const double speedup = m.seconds > 0 ? base.seconds / m.seconds : 0;
-          srow.push_back(m.valid ? TablePrinter::fmt(speedup) : "INVALID");
-          wrow.push_back(TablePrinter::fmt(m.work_increase));
-          if (speedup > best) {
-            best = speedup;
-            best_cfg = srow.front() + " x " + headers[c + 1];
-          }
-        }
-        speedups.add_row(std::move(srow));
-        work.add_row(std::move(wrow));
-      }
-      std::cout << "mode " << mode.name << " speedup vs MQ(C=4):\n";
-      speedups.print(std::cout);
-      std::cout << "mode " << mode.name << " work increase:\n";
-      work.print(std::cout);
-      std::cout << "best: " << best_cfg << " (" << TablePrinter::fmt(best)
-                << "x)\n\n";
-    }
-  }
-  return 0;
+  return smq::run_suite_main("fig7_14", argc, argv);
 }

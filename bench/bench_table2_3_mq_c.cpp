@@ -1,49 +1,11 @@
 // Tables 2-3: speedup of the classic Multi-Queue for queue multipliers
-// C in [2, 8], at the maximum thread count, versus the sequential exact
-// priority queue — reproducing the paper's finding that moderate C
-// (3-6) usually wins and that the optimum is benchmark-dependent.
-#include <iostream>
-
-#include "harness/bench_main.h"
+// C versus the sequential exact priority queue — a thin wrapper over the
+// `table2_3` suite expansion (registry/suites.h): the mq-c* presets run
+// through the shared registry runners (the table's speedup column is
+// the rows' speedup vs the sequential reference). Identical to
+// `smq_run --suite table2_3`.
+#include "registry/suite_runner.h"
 
 int main(int argc, char** argv) {
-  using namespace smq;
-  using namespace smq::bench;
-  const BenchOptions opts = parse_bench_options(argc, argv);
-  print_preamble("Tables 2-3: classic MQ speedup vs queue multiplier C",
-                 opts);
-
-  const std::vector<unsigned> multipliers =
-      opts.full ? std::vector<unsigned>{2, 3, 4, 5, 6, 7, 8}
-                : std::vector<unsigned>{2, 4, 6, 8};
-  std::vector<Workload> workloads =
-      opts.full ? standard_workloads(opts.subset) : quick_workloads();
-
-  std::vector<std::string> headers{"benchmark"};
-  for (unsigned c : multipliers) headers.push_back("C=" + std::to_string(c));
-  TablePrinter table(std::move(headers));
-
-  for (Workload& w : workloads) {
-    std::vector<std::string> row{w.name};
-    double best = 0;
-    std::size_t best_col = 0;
-    for (std::size_t i = 0; i < multipliers.size(); ++i) {
-      SchedulerSpec spec;
-      spec.kind = SchedKind::kClassicMq;
-      spec.mq_c = multipliers[i];
-      const Measurement m =
-          run_measurement(w, spec, opts.max_threads, opts.repetitions);
-      row.push_back(m.valid ? TablePrinter::fmt(m.speedup_vs_seq)
-                            : "INVALID");
-      if (m.speedup_vs_seq > best) {
-        best = m.speedup_vs_seq;
-        best_col = i + 1;
-      }
-    }
-    row[best_col] += "*";  // the paper highlights the best C in red
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-  std::cout << "\n(*) best C for the row; speedup vs sequential exact PQ.\n";
-  return 0;
+  return smq::run_suite_main("table2_3", argc, argv);
 }

@@ -36,6 +36,8 @@ struct SmqConfig {
   std::uint64_t seed = 1;
   const Topology* topology = nullptr;  // NUMA-aware victim sampling
   double numa_weight_k = 8.0;          // weight K (paper default 8)
+
+  friend bool operator==(const SmqConfig&, const SmqConfig&) = default;
 };
 
 template <typename LocalPQ = DAryHeap<Task, 4>>

@@ -26,6 +26,9 @@ struct ClassicMqConfig {
   std::uint64_t seed = 1;
   const Topology* topology = nullptr;  // nullptr => uniform sampling
   double numa_weight_k = 1.0;
+
+  friend bool operator==(const ClassicMqConfig&,
+                         const ClassicMqConfig&) = default;
 };
 
 class ClassicMultiQueue {
@@ -33,7 +36,8 @@ class ClassicMultiQueue {
   using Config = ClassicMqConfig;
 
   ClassicMultiQueue(unsigned num_threads, Config cfg = {})
-      : num_threads_(num_threads),
+      : cfg_(cfg),
+        num_threads_(num_threads),
         queues_(static_cast<std::size_t>(num_threads) * cfg.queue_multiplier),
         rngs_(num_threads),
         sampler_(make_queue_sampler(queues_.size(), num_threads, cfg.topology,
@@ -48,6 +52,7 @@ class ClassicMultiQueue {
   unsigned num_threads() const noexcept { return num_threads_; }
   std::size_t num_queues() const noexcept { return queues_.size(); }
   std::uint64_t approx_size() const noexcept { return queues_.approx_total(); }
+  const Config& config() const noexcept { return cfg_; }
 
   void push(unsigned tid, Task task) {
     Xoshiro256& rng = rngs_[tid].value;
@@ -112,6 +117,7 @@ class ClassicMultiQueue {
     if (sampler_.is_remote(tid, queue)) ++c.remote;
   }
 
+  Config cfg_;
   unsigned num_threads_;
   LockedQueueArray queues_;
   std::vector<Padded<Xoshiro256>> rngs_;

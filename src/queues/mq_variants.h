@@ -46,6 +46,9 @@ struct OptimizedMqConfig {
   std::uint64_t seed = 1;
   const Topology* topology = nullptr;
   double numa_weight_k = 1.0;
+
+  friend bool operator==(const OptimizedMqConfig&,
+                         const OptimizedMqConfig&) = default;
 };
 
 class OptimizedMultiQueue {
@@ -66,6 +69,7 @@ class OptimizedMultiQueue {
 
   unsigned num_threads() const noexcept { return num_threads_; }
   std::size_t num_queues() const noexcept { return queues_.size(); }
+  const Config& config() const noexcept { return cfg_; }
 
   void push(unsigned tid, Task task) {
     Local& local = locals_[tid].value;

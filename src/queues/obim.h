@@ -49,6 +49,8 @@ struct ObimConfig {
   unsigned min_shift = 0;
   unsigned max_shift = 30;
   const Topology* topology = nullptr;  // per-node bag sharding
+
+  friend bool operator==(const ObimConfig&, const ObimConfig&) = default;
 };
 
 class Obim {
@@ -80,6 +82,8 @@ class Obim {
   Obim& operator=(const Obim&) = delete;
 
   unsigned num_threads() const noexcept { return num_threads_; }
+  /// Post-clamp configuration (chunk_size bounded to [1, Chunk::kCapacity]).
+  const Config& config() const noexcept { return cfg_; }
   unsigned current_shift() const noexcept {
     return shift_.load(std::memory_order_relaxed);
   }

@@ -5,9 +5,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace smq {
@@ -87,5 +89,14 @@ class ParamMap {
  private:
   std::map<std::string, std::string> kv_;
 };
+
+/// Literal ParamMap construction, for registration tables and suite
+/// definitions: params_of({{"c", "4"}, {"seed", "1"}}).
+inline ParamMap params_of(
+    std::initializer_list<std::pair<const char*, std::string>> kvs) {
+  ParamMap params;
+  for (const auto& [key, value] : kvs) params.set(key, value);
+  return params;
+}
 
 }  // namespace smq

@@ -25,10 +25,65 @@ ParamMap ParamMap::from_args(const ArgParser& args) {
   return params;
 }
 
+ParamMap resolve_preset_params(const ParamMap& params, const ParamMap& defaults,
+                               const ParamMap& pinned) {
+  ParamMap resolved = params;
+  for (const auto& [key, value] : defaults.entries()) {
+    if (!resolved.has(key)) resolved.set(key, value);
+  }
+  for (const auto& [key, value] : pinned.entries()) {
+    resolved.set(key, value);
+  }
+  return resolved;
+}
+
+ParamMap resolve_preset_params(const SchedulerEntry& entry,
+                               const ParamMap& params) {
+  return resolve_preset_params(params, entry.defaults, entry.pinned);
+}
+
 namespace {
 
 void append(std::vector<Tunable>& dst, const std::vector<Tunable>& src) {
   dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Register `name` as a preset over the already-registered `family`
+/// entry: same factory, params resolved through pinned/defaults. The
+/// preset inherits the family's tunables minus the pinned keys (those
+/// are no longer knobs) with preset defaults substituted in.
+void add_preset(SchedulerRegistry& reg, std::string name,
+                std::string description, std::string family, ParamMap pinned,
+                ParamMap defaults = {}) {
+  const SchedulerEntry* base = reg.find(family);
+  if (base == nullptr) {
+    throw std::logic_error("preset '" + name + "' names unknown family '" +
+                           family + "'");
+  }
+  SchedulerEntry entry;
+  entry.name = std::move(name);
+  entry.description = std::move(description);
+  entry.max_threads = base->max_threads;
+  entry.family = std::move(family);
+  entry.pinned = std::move(pinned);
+  entry.defaults = std::move(defaults);
+  for (const Tunable& t : base->tunables) {
+    if (entry.pinned.has(t.name)) continue;
+    Tunable preset_t = t;
+    if (entry.defaults.has(t.name)) {
+      preset_t.default_value = entry.defaults.get(t.name);
+    }
+    entry.tunables.push_back(std::move(preset_t));
+  }
+  // Capture the overlays by value: the factory must resolve exactly like
+  // resolve_preset_params() so virtual and static dispatch agree.
+  entry.make = [base_make = base->make, pinned_copy = entry.pinned,
+                defaults_copy = entry.defaults](unsigned threads,
+                                                const ParamMap& params) {
+    return base_make(
+        threads, resolve_preset_params(params, defaults_copy, pinned_copy));
+  };
+  reg.add(std::move(entry));
 }
 
 template <typename LocalPQ>
@@ -245,63 +300,95 @@ void register_builtins(SchedulerRegistry& reg) {
 
   // ---- named sweep presets -------------------------------------------
   //
-  // The paper's remaining parameter grids as first-class registry keys,
-  // so `--sched` (and the NUMA grid sweep) can enumerate them like any
-  // other scheduler instead of benches hand-rolling the loops:
-  //  * mq-tl-p<D>: optimized MQ, temporal locality on insert AND delete
-  //    with p_change = 1/D (Figures 7-14's p-sweep; p = 1 reproduces
-  //    the classic MQ behaviour);
-  //  * reld-c<C>: RELD with C queues per thread (the C-sweep anchor).
-  // The pinned knobs win over conflicting CLI tunables — that is what
-  // makes the key a preset; everything else (c, seed, numa, ...) still
-  // flows through.
+  // The paper's parameter grids as first-class registry keys, so
+  // `--sched`, the NUMA grid and the figure suites (registry/suites.h)
+  // can enumerate them like any other scheduler instead of benches
+  // hand-rolling the loops. Pinned knobs win over conflicting CLI
+  // tunables — that is what makes the key a preset; everything else
+  // (c, seed, numa, steal-size, chunk-size, ...) still flows through.
+
+  // mq-tl-p<D>: optimized MQ, temporal locality on insert AND delete
+  // with p_change = 1/D (Figures 7-14's stickiness sweep; p = 1
+  // reproduces the classic MQ behaviour).
   for (const int denom : {1, 4, 16, 64, 256, 1024}) {
-    std::vector<Tunable> t = {
-        {"c", "4", "queues per thread"},
-        {"seed", "1", "RNG seed"},
-    };
-    append(t, numa_tunables());
-    reg.add({
-        .name = "mq-tl-p" + std::to_string(denom),
-        .description = "preset: mq-opt, temporal locality, p = 1/" +
-                       std::to_string(denom),
-        .tunables = std::move(t),
-        .make =
-            [denom](unsigned threads, const ParamMap& params) {
-              ParamMap preset = params;
-              preset.set("insert-policy", "local");
-              preset.set("delete-policy", "local");
-              preset.set("p-insert", "1/" + std::to_string(denom));
-              preset.set("p-delete", "1/" + std::to_string(denom));
-              std::shared_ptr<Topology> topo;
-              const OptimizedMqConfig cfg =
-                  make_optimized_mq_config(threads, preset, topo);
-              auto any = AnyScheduler::make<OptimizedMultiQueue>(threads, cfg);
-              if (topo) any.attach(std::move(topo));
-              return any;
-            },
-    });
+    const std::string p = "1/" + std::to_string(denom);
+    add_preset(reg, "mq-tl-p" + std::to_string(denom),
+               "preset: mq-opt, temporal locality, p = " + p, "mq-opt",
+               params_of({{"insert-policy", "local"},
+                          {"delete-policy", "local"},
+                          {"p-insert", p},
+                          {"p-delete", p}}));
   }
+
+  // reld-c<C>: RELD with C queues per thread (the C-sweep anchor).
   for (const unsigned c : {1u, 2u, 4u, 8u}) {
-    std::vector<Tunable> t = {{"seed", "1", "RNG seed"}};
-    append(t, numa_tunables());
-    reg.add({
-        .name = "reld-c" + std::to_string(c),
-        .description =
-            "preset: RELD with " + std::to_string(c) + " queues per thread",
-        .tunables = std::move(t),
-        .make =
-            [c](unsigned threads, const ParamMap& params) {
-              ParamMap preset = params;
-              preset.set("c", std::to_string(c));
-              std::shared_ptr<Topology> topo;
-              const ReldConfig cfg = make_reld_config(threads, preset, topo);
-              auto any = AnyScheduler::make<ReldQueue>(threads, cfg);
-              if (topo) any.attach(std::move(topo));
-              return any;
-            },
-    });
+    add_preset(reg, "reld-c" + std::to_string(c),
+               "preset: RELD with " + std::to_string(c) + " queues per thread",
+               "reld", params_of({{"c", std::to_string(c)}}));
   }
+
+  // obim-d<S> / pmod-d<S>: the Figures 3-6 delta sweep, delta = 2^S.
+  // chunk-size stays tunable (the figures' other axis).
+  for (const unsigned shift : {0u, 2u, 4u, 8u, 12u, 16u}) {
+    const std::string s = std::to_string(shift);
+    add_preset(reg, "obim-d" + s, "preset: OBIM with delta = 2^" + s, "obim",
+               params_of({{"delta-shift", s}}));
+    add_preset(reg, "pmod-d" + s,
+               "preset: PMOD starting from delta = 2^" + s, "pmod",
+               params_of({{"delta-shift", s}}));
+  }
+
+  // mq-c<C>: the classic-MQ queue-multiplier sweep (Tables 2-3).
+  for (const unsigned c : {1u, 2u, 4u, 8u, 16u}) {
+    add_preset(reg, "mq-c" + std::to_string(c),
+               "preset: classic MQ with C = " + std::to_string(c),
+               "mq", params_of({{"c", std::to_string(c)}}));
+  }
+
+  // smq-p<D> / smq-sl-p<D>: the SMQ ablation pair (Figure 1 and
+  // Figures 19-20), p_steal = 1/D; steal-size stays tunable (the
+  // figures' other axis).
+  for (const int denom : {2, 4, 8, 16, 32, 64}) {
+    const std::string p = "1/" + std::to_string(denom);
+    add_preset(reg, "smq-p" + std::to_string(denom),
+               "preset: SMQ (heap), p_steal = " + p, "smq",
+               params_of({{"p-steal", p}}));
+  }
+  for (const int denom : {2, 4, 8, 16, 32}) {
+    const std::string p = "1/" + std::to_string(denom);
+    add_preset(reg, "smq-sl-p" + std::to_string(denom),
+               "preset: SMQ (skip list), p_steal = " + p, "smq-skiplist",
+               params_of({{"p-steal", p}}));
+  }
+
+  // The MQ-Optimized ablation stack (Figures 7-16): which optimization
+  // family is on. `none` degenerates to the classic MQ (buffers of 1);
+  // `buf` is task batching on both sides (buffer-size sub-sweep via
+  // insert-batch/delete-batch); `stick` is temporal locality on both
+  // sides (stickiness sub-sweep via p-insert/p-delete); `full` combines
+  // the families at the paper's representative settings — insertion
+  // batching plus deletion temporal locality.
+  add_preset(reg, "mq-opt-none",
+             "preset: mq-opt with every optimization off (classic MQ)",
+             "mq-opt",
+             params_of({{"insert-policy", "batch"},
+                        {"delete-policy", "batch"},
+                        {"insert-batch", "1"},
+                        {"delete-batch", "1"}}));
+  add_preset(reg, "mq-opt-buf",
+             "preset: mq-opt, task batching on insert and delete", "mq-opt",
+             params_of({{"insert-policy", "batch"}, {"delete-policy", "batch"}}),
+             params_of({{"insert-batch", "16"}, {"delete-batch", "16"}}));
+  add_preset(reg, "mq-opt-stick",
+             "preset: mq-opt, temporal locality on insert and delete",
+             "mq-opt",
+             params_of({{"insert-policy", "local"}, {"delete-policy", "local"}}),
+             params_of({{"p-insert", "1/16"}, {"p-delete", "1/16"}}));
+  add_preset(reg, "mq-opt-full",
+             "preset: mq-opt, insert batching + delete temporal locality",
+             "mq-opt",
+             params_of({{"insert-policy", "batch"}, {"delete-policy", "local"}}),
+             params_of({{"insert-batch", "16"}, {"p-delete", "1/16"}}));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "queues/skiplist.h"
 #include "registry/algo_runners.h"
 #include "registry/scheduler_configs.h"
+#include "registry/scheduler_registry.h"
 
 namespace smq {
 
@@ -45,9 +46,12 @@ struct StaticEntry {
   StaticRunFn run;
 };
 
-// The hot keys of the paper's evaluation; the long tail of anchor
-// schedulers stays virtual-only (they are baselines, not the product).
-constexpr std::array<StaticEntry, 5> kStaticTable{{
+// The hot config families of the paper's evaluation; the long tail of
+// anchor schedulers stays virtual-only (they are baselines, not the
+// product). Presets resolve to their family's row with their pinned
+// params applied, so every obim-d*/mq-c*/smq-p*/mq-opt-* key is
+// static-dispatchable too.
+constexpr std::array<StaticEntry, 6> kStaticTable{{
     {"smq",
      [](std::string_view algo, const GraphInstance& g, unsigned threads,
         const ParamMap& params, const AlgoReference* ref) {
@@ -78,6 +82,12 @@ constexpr std::array<StaticEntry, 5> kStaticTable{{
        return run_concrete<Obim>(make_obim_config, algo, g, threads, params,
                                  ref);
      }},
+    {"pmod",
+     [](std::string_view algo, const GraphInstance& g, unsigned threads,
+        const ParamMap& params, const AlgoReference* ref) {
+       return run_concrete<Pmod>(make_pmod_config, algo, g, threads, params,
+                                 ref);
+     }},
 }};
 
 const StaticEntry* find_static(std::string_view scheduler) {
@@ -85,6 +95,26 @@ const StaticEntry* find_static(std::string_view scheduler) {
     if (entry.scheduler == scheduler) return &entry;
   }
   return nullptr;
+}
+
+/// The static row and resolved params for a registry key: a preset
+/// dispatches to its family's row with its pinned/default params
+/// applied — the same resolution its virtual factory performs, so the
+/// two paths cannot construct different configs.
+struct ResolvedStatic {
+  const StaticEntry* entry = nullptr;
+  ParamMap params;
+};
+
+ResolvedStatic resolve_static(std::string_view scheduler,
+                              const ParamMap& params) {
+  const SchedulerEntry* reg_entry =
+      SchedulerRegistry::instance().find(scheduler);
+  if (reg_entry == nullptr || reg_entry->family.empty()) {
+    return {find_static(scheduler), params};
+  }
+  return {find_static(reg_entry->family),
+          resolve_preset_params(*reg_entry, params)};
 }
 
 }  // namespace
@@ -106,7 +136,7 @@ std::string_view to_string(DispatchMode mode) {
 }
 
 bool has_static_dispatch(std::string_view scheduler) {
-  return find_static(scheduler) != nullptr;
+  return resolve_static(scheduler, {}).entry != nullptr;
 }
 
 std::vector<std::string> static_dispatch_keys() {
@@ -124,9 +154,9 @@ std::optional<AlgoResult> run_static_dispatch(std::string_view scheduler,
                                               unsigned threads,
                                               const ParamMap& params,
                                               const AlgoReference* ref) {
-  const StaticEntry* entry = find_static(scheduler);
-  if (entry == nullptr) return std::nullopt;
-  return entry->run(algorithm, graph, threads, params, ref);
+  const ResolvedStatic resolved = resolve_static(scheduler, params);
+  if (resolved.entry == nullptr) return std::nullopt;
+  return resolved.entry->run(algorithm, graph, threads, resolved.params, ref);
 }
 
 }  // namespace smq

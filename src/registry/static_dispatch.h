@@ -32,10 +32,12 @@ std::optional<DispatchMode> parse_dispatch_mode(std::string_view name);
 std::string_view to_string(DispatchMode mode);
 
 /// True when `scheduler` (a SchedulerRegistry key) has a static table
-/// entry.
+/// entry — directly, or through its preset family (an obim-d4 run
+/// dispatches to the obim row with delta-shift pinned).
 bool has_static_dispatch(std::string_view scheduler);
 
-/// The scheduler keys with static entries, in table order.
+/// The config-family keys with static entries, in table order (presets
+/// resolving to these families are static-dispatchable too).
 std::vector<std::string> static_dispatch_keys();
 
 /// Run `algorithm` under a directly instantiated `scheduler`, validating

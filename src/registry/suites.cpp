@@ -1,0 +1,186 @@
+#include "registry/suites.h"
+
+namespace smq {
+
+namespace {
+
+SuiteRun run_of(std::string scheduler,
+                std::initializer_list<std::pair<const char*, std::string>>
+                    kvs = {},
+                std::string label = "") {
+  return {std::move(scheduler), params_of(kvs), std::move(label)};
+}
+
+/// The paper's per-thread-count baseline, first row of every speedup
+/// figure: classic MQ with C = 4.
+SuiteRun mq_baseline() { return run_of("mq-c4", {}, "mq-c4 (baseline)"); }
+
+std::vector<SuiteDef> build_suites() {
+  std::vector<SuiteDef> defs;
+
+  // Figure 1 (+ Figures 17-18, Tables 12-13): SMQ(heap) ablation,
+  // p_steal x steal-buffer size, vs classic MQ C=4.
+  {
+    SuiteDef d;
+    d.name = "fig1";
+    d.figure = "Figure 1 / Figures 17-18 / Tables 12-13";
+    d.description = "SMQ (heap) ablation: p_steal x steal-buffer size";
+    d.threads = {4};
+    d.runs.push_back(mq_baseline());
+    for (const int denom : {2, 4, 8, 16, 32, 64}) {
+      for (const char* size : {"1", "4", "16", "64"}) {
+        d.runs.push_back(run_of("smq-p" + std::to_string(denom),
+                                {{"steal-size", size}}));
+      }
+    }
+    defs.push_back(std::move(d));
+  }
+
+  // Figures 3-6 (Appendix B): OBIM and PMOD delta x CHUNK_SIZE tuning.
+  {
+    SuiteDef d;
+    d.name = "fig3_6";
+    d.figure = "Figures 3-6";
+    d.description = "OBIM/PMOD tuning: delta shift x chunk size";
+    d.threads = {4};
+    d.runs.push_back(mq_baseline());
+    for (const char* family : {"obim-d", "pmod-d"}) {
+      for (const unsigned shift : {0u, 2u, 4u, 8u, 12u, 16u}) {
+        for (const char* chunk : {"16", "64", "256"}) {
+          d.runs.push_back(run_of(family + std::to_string(shift),
+                                  {{"chunk-size", chunk}}));
+        }
+      }
+    }
+    defs.push_back(std::move(d));
+  }
+
+  // Figures 7-14 / Tables 4-11 (Appendix C): the classic-MQ optimization
+  // sub-sweeps along the figures' diagonal — temporal-locality stickiness
+  // (p_insert = p_delete = 1/D via the mq-tl-p presets) and task-batching
+  // buffer size (insert = delete buffer via mq-opt-buf).
+  {
+    SuiteDef d;
+    d.name = "fig7_14";
+    d.figure = "Figures 7-14 / Tables 4-11";
+    d.description = "MQ optimization sub-sweeps: stickiness and buffer size";
+    d.threads = {4};
+    d.runs.push_back(mq_baseline());
+    for (const int denom : {1, 4, 16, 64, 256, 1024}) {
+      d.runs.push_back(run_of("mq-tl-p" + std::to_string(denom)));
+    }
+    for (const char* batch : {"1", "4", "16", "64", "256", "1024"}) {
+      d.runs.push_back(run_of(
+          "mq-opt-buf", {{"insert-batch", batch}, {"delete-batch", batch}},
+          std::string("mq-opt-buf/b=") + batch));
+    }
+    defs.push_back(std::move(d));
+  }
+
+  // Figures 15-16 (Appendix C.9): the optimization combos head-to-head
+  // at representative settings (p = 1/16, buffers of 16).
+  {
+    SuiteDef d;
+    d.name = "fig15_16";
+    d.figure = "Figures 15-16";
+    d.description = "MQ optimization combos head-to-head";
+    d.threads = {4};
+    d.runs.push_back(mq_baseline());
+    d.runs.push_back(run_of("mq-opt-none"));
+    d.runs.push_back(run_of("mq-opt-stick", {}, "mq-opt-stick (TL/TL)"));
+    d.runs.push_back(run_of("mq-opt-buf", {}, "mq-opt-buf (B/B)"));
+    d.runs.push_back(run_of("mq-opt-full", {}, "mq-opt-full (B/TL)"));
+    d.runs.push_back(run_of("mq-opt",
+                            {{"insert-policy", "local"},
+                             {"p-insert", "1/16"},
+                             {"delete-policy", "batch"},
+                             {"delete-batch", "16"}},
+                            "mq-opt (TL/B)"));
+    defs.push_back(std::move(d));
+  }
+
+  // Figures 19-20 / Tables 14-15 (Appendix D): the SMQ skip-list
+  // ablation, with the d-ary-heap variant at the same grid so the gap
+  // is visible.
+  {
+    SuiteDef d;
+    d.name = "fig19_20";
+    d.figure = "Figures 19-20 / Tables 14-15";
+    d.description = "SMQ (skip list) ablation, heap variant paired";
+    d.threads = {4};
+    d.runs.push_back(mq_baseline());
+    for (const char* variant : {"smq-sl-p", "smq-p"}) {
+      for (const int denom : {2, 4, 8, 16, 32}) {
+        for (const char* size : {"1", "8", "64"}) {
+          d.runs.push_back(run_of(variant + std::to_string(denom),
+                                  {{"steal-size", size}}));
+        }
+      }
+    }
+    defs.push_back(std::move(d));
+  }
+
+  // Tables 2-3: classic MQ speedup vs queue multiplier C.
+  {
+    SuiteDef d;
+    d.name = "table2_3";
+    d.figure = "Tables 2-3";
+    d.description = "classic MQ C-sweep vs the sequential exact PQ";
+    d.threads = {4};
+    for (const unsigned c : {1u, 2u, 4u, 8u, 16u}) {
+      d.runs.push_back(run_of("mq-c" + std::to_string(c)));
+    }
+    defs.push_back(std::move(d));
+  }
+
+  // Shared graph default: the perf-gate graph, small enough for CI yet
+  // contended enough to separate the schedulers; --graph/--vertices
+  // override it, and real DIMACS inputs reproduce the paper's numbers.
+  for (SuiteDef& d : defs) {
+    d.graph_params = params_of({{"vertices", "20000"}});
+  }
+  return defs;
+}
+
+}  // namespace
+
+const std::vector<SuiteDef>& suites() {
+  static const std::vector<SuiteDef>* defs =
+      new std::vector<SuiteDef>(build_suites());
+  return *defs;
+}
+
+const SuiteDef* find_suite(std::string_view name) {
+  for (const SuiteDef& d : suites()) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  names.reserve(suites().size());
+  for (const SuiteDef& d : suites()) names.push_back(d.name);
+  return names;
+}
+
+std::string suite_run_label(const SuiteRun& run) {
+  if (!run.label.empty()) return run.label;
+  std::string label = run.scheduler;
+  for (const auto& [key, value] : run.params.entries()) {
+    label += "/" + key + "=" + value;
+  }
+  return label;
+}
+
+std::string unknown_suite_message(std::string_view name) {
+  std::string msg = "unknown suite: " + std::string(name) + " (expected ";
+  const std::vector<std::string> names = suite_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    msg += (i == 0 ? "" : ", ") + names[i];
+  }
+  msg += ")";
+  return msg;
+}
+
+}  // namespace smq

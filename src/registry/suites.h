@@ -1,0 +1,56 @@
+// Figure suites: the paper's remaining ablation studies as declarative
+// preset sweeps.
+//
+// A suite names the exact (scheduler preset, per-run params) tuples,
+// thread counts and default graph that reproduce one figure or table of
+// conf_ppopp_PostnikovaKNA22 through the registry runners. `smq_run
+// --suite fig3_6` (and the thin bench wrappers, bench_fig*_*.cpp) expand
+// a suite with registry/suite_runner.h, emitting the same ASCII table
+// and JSON rows as an ad-hoc `--sched` sweep — so every figure's
+// configuration is enumerable, validated against the sequential oracle,
+// and gateable by tools/perf_check.py. The expansions are golden-tested
+// in tests/test_suite_expansion.cpp; change them deliberately.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "registry/params.h"
+
+namespace smq {
+
+/// One row group of a suite: a registry scheduler key (usually a
+/// preset) plus the tunables this run pins on top of it.
+struct SuiteRun {
+  std::string scheduler;  // SchedulerRegistry key
+  ParamMap params;        // per-run tunable overrides (win over the CLI)
+  std::string label;      // display name; empty = derived from the above
+};
+
+struct SuiteDef {
+  std::string name;         // CLI key, e.g. "fig3_6"
+  std::string figure;       // the paper artifact, e.g. "Figures 3-6"
+  std::string description;  // one-liner for listings
+  std::string algo = "sssp";
+  std::string graph = "rand";
+  ParamMap graph_params;            // graph defaults (CLI overrides win)
+  std::vector<unsigned> threads;    // default thread sweep
+  std::vector<SuiteRun> runs;
+};
+
+/// Every registered suite, in listing order.
+const std::vector<SuiteDef>& suites();
+
+const SuiteDef* find_suite(std::string_view name);
+
+std::vector<std::string> suite_names();
+
+/// The display label of a run: its explicit label, else the scheduler
+/// key with any per-run params appended ("obim-d4/chunk-size=64").
+std::string suite_run_label(const SuiteRun& run);
+
+/// Error text for an unknown suite name, listing every valid one.
+std::string unknown_suite_message(std::string_view name);
+
+}  // namespace smq

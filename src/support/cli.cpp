@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace smq {
 
@@ -68,6 +69,25 @@ std::vector<std::string> split_list(std::string_view text, char sep) {
     pos = end + 1;
   }
   return out;
+}
+
+std::vector<unsigned> parse_thread_list(std::string_view spec) {
+  // Far above any real machine, far below where the unsigned narrowing
+  // could wrap: overflowing values must be rejected, not reinterpreted.
+  constexpr long kMaxThreads = 1 << 20;
+  std::vector<unsigned> counts;
+  for (const std::string& part : split_list(spec, ',')) {
+    char* end = nullptr;
+    const long n = std::strtol(part.c_str(), &end, 10);
+    if (n <= 0 || n > kMaxThreads || end == part.c_str() || *end != '\0') {
+      throw std::invalid_argument("bad thread count: " + part);
+    }
+    counts.push_back(static_cast<unsigned>(n));
+  }
+  if (counts.empty()) {
+    throw std::invalid_argument("empty thread list: " + std::string(spec));
+  }
+  return counts;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

@@ -42,6 +42,11 @@ double env_double(const char* name, double fallback);
 /// definition so the parsers' edge cases cannot drift apart.
 std::vector<std::string> split_list(std::string_view text, char sep);
 
+/// Parse a "--threads 1,4,8" sweep spec into thread counts. Throws
+/// std::invalid_argument on an empty list or a non-positive /
+/// non-numeric element.
+std::vector<unsigned> parse_thread_list(std::string_view spec);
+
 /// Fixed-width ASCII table, paper-style: header row, then data rows.
 class TablePrinter {
  public:

@@ -1,0 +1,271 @@
+// Golden tests for the figure suites (registry/suites.h): each --suite
+// name must expand to the exact preset/params/threads tuples of its
+// paper figure, every run must name a registered scheduler with
+// documented tunables, and the CLI-facing parsers (suite lookup,
+// thread sweep spec) must reject garbage helpfully. The expansions are
+// the reproduction recipe for conf_ppopp_PostnikovaKNA22 — change them
+// deliberately, with the figure open.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "registry/algorithm_registry.h"
+#include "registry/graph_registry.h"
+#include "registry/scheduler_registry.h"
+#include "registry/suite_runner.h"
+#include "registry/suites.h"
+#include "support/cli.h"
+
+namespace smq {
+namespace {
+
+using Tuple = std::pair<std::string, std::string>;  // (scheduler, key param)
+
+std::vector<Tuple> grid_of(const SuiteDef& suite, const std::string& param,
+                           std::size_t from = 1) {
+  std::vector<Tuple> grid;
+  for (std::size_t i = from; i < suite.runs.size(); ++i) {
+    grid.emplace_back(suite.runs[i].scheduler,
+                      suite.runs[i].params.get(param));
+  }
+  return grid;
+}
+
+// ---- registry-level invariants --------------------------------------------
+
+TEST(SuiteRegistry, ListsExactlyTheSixFigureSuites) {
+  const std::vector<std::string> expected{"fig1",     "fig3_6",   "fig7_14",
+                                          "fig15_16", "fig19_20", "table2_3"};
+  EXPECT_EQ(suite_names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_NE(find_suite(name), nullptr) << name;
+  }
+}
+
+TEST(SuiteRegistry, UnknownSuiteIsRejectedWithTheFullListing) {
+  EXPECT_EQ(find_suite("fig999"), nullptr);
+  EXPECT_EQ(find_suite(""), nullptr);
+  const std::string msg = unknown_suite_message("fig999");
+  EXPECT_NE(msg.find("fig999"), std::string::npos);
+  for (const std::string& name : suite_names()) {
+    EXPECT_NE(msg.find(name), std::string::npos)
+        << "listing must offer " << name;
+  }
+}
+
+/// Every suite must stay runnable as the registries evolve: known
+/// algorithm and graph source, registered schedulers, per-run params
+/// restricted to the scheduler's documented tunables, unique row labels
+/// (they are the JSON row key tools/perf_check.py matches on).
+TEST(SuiteRegistry, EveryRunNamesARegisteredSchedulerWithDocumentedTunables) {
+  for (const SuiteDef& suite : suites()) {
+    SCOPED_TRACE(suite.name);
+    EXPECT_FALSE(suite.figure.empty());
+    EXPECT_FALSE(suite.threads.empty());
+    EXPECT_FALSE(suite.runs.empty());
+    EXPECT_NE(AlgorithmRegistry::instance().find(suite.algo), nullptr);
+    EXPECT_NE(GraphRegistry::instance().find(suite.graph), nullptr);
+    std::set<std::string> labels;
+    for (const SuiteRun& run : suite.runs) {
+      SCOPED_TRACE(run.scheduler);
+      const SchedulerEntry* entry =
+          SchedulerRegistry::instance().find(run.scheduler);
+      ASSERT_NE(entry, nullptr) << "suite names unregistered scheduler";
+      EXPECT_TRUE(labels.insert(suite_run_label(run)).second)
+          << "duplicate row label: " << suite_run_label(run);
+      for (const auto& [key, value] : run.params.entries()) {
+        const bool documented =
+            std::any_of(entry->tunables.begin(), entry->tunables.end(),
+                        [&key = key](const Tunable& t) { return t.name == key; });
+        EXPECT_TRUE(documented) << "param '" << key << "' is not a tunable of "
+                                << run.scheduler;
+        EXPECT_FALSE(value.empty());
+      }
+    }
+  }
+}
+
+TEST(SuiteRegistry, RunLabelsDeriveFromSchedulerAndParams) {
+  SuiteRun run;
+  run.scheduler = "obim-d4";
+  run.params.set("chunk-size", "64");
+  EXPECT_EQ(suite_run_label(run), "obim-d4/chunk-size=64");
+  run.label = "custom";
+  EXPECT_EQ(suite_run_label(run), "custom");
+}
+
+// ---- golden expansions ----------------------------------------------------
+
+TEST(SuiteExpansion, Fig1IsThePStealStealSizeGrid) {
+  const SuiteDef* suite = find_suite("fig1");
+  ASSERT_NE(suite, nullptr);
+  EXPECT_EQ(suite->algo, "sssp");
+  EXPECT_EQ(suite->threads, std::vector<unsigned>{4});
+  ASSERT_EQ(suite->runs.size(), 25u);
+  EXPECT_EQ(suite->runs[0].scheduler, "mq-c4");  // the figures' baseline
+  std::vector<Tuple> expected;
+  for (const int denom : {2, 4, 8, 16, 32, 64}) {
+    for (const char* size : {"1", "4", "16", "64"}) {
+      expected.emplace_back("smq-p" + std::to_string(denom), size);
+    }
+  }
+  EXPECT_EQ(grid_of(*suite, "steal-size"), expected);
+}
+
+TEST(SuiteExpansion, Fig3_6IsTheObimPmodDeltaChunkGrid) {
+  const SuiteDef* suite = find_suite("fig3_6");
+  ASSERT_NE(suite, nullptr);
+  EXPECT_EQ(suite->threads, std::vector<unsigned>{4});
+  ASSERT_EQ(suite->runs.size(), 37u);
+  EXPECT_EQ(suite->runs[0].scheduler, "mq-c4");
+  std::vector<Tuple> expected;
+  for (const char* family : {"obim-d", "pmod-d"}) {
+    for (const unsigned shift : {0u, 2u, 4u, 8u, 12u, 16u}) {
+      for (const char* chunk : {"16", "64", "256"}) {
+        expected.emplace_back(family + std::to_string(shift), chunk);
+      }
+    }
+  }
+  EXPECT_EQ(grid_of(*suite, "chunk-size"), expected);
+}
+
+TEST(SuiteExpansion, Fig7_14IsTheStickinessAndBufferDiagonal) {
+  const SuiteDef* suite = find_suite("fig7_14");
+  ASSERT_NE(suite, nullptr);
+  ASSERT_EQ(suite->runs.size(), 13u);
+  EXPECT_EQ(suite->runs[0].scheduler, "mq-c4");
+  std::vector<std::string> schedulers;
+  for (std::size_t i = 1; i < suite->runs.size(); ++i) {
+    schedulers.push_back(suite->runs[i].scheduler);
+  }
+  const std::vector<std::string> expected{
+      "mq-tl-p1",   "mq-tl-p4",   "mq-tl-p16",
+      "mq-tl-p64",  "mq-tl-p256", "mq-tl-p1024",
+      "mq-opt-buf", "mq-opt-buf", "mq-opt-buf",
+      "mq-opt-buf", "mq-opt-buf", "mq-opt-buf"};
+  EXPECT_EQ(schedulers, expected);
+  // The buffer rows sweep insert = delete batch along the diagonal.
+  for (std::size_t i = 7; i < suite->runs.size(); ++i) {
+    const SuiteRun& run = suite->runs[i];
+    EXPECT_EQ(run.params.get("insert-batch"), run.params.get("delete-batch"));
+  }
+  EXPECT_EQ(suite->runs[7].params.get("insert-batch"), "1");
+  EXPECT_EQ(suite->runs[12].params.get("insert-batch"), "1024");
+}
+
+TEST(SuiteExpansion, Fig15_16IsTheOptimizationComboStack) {
+  const SuiteDef* suite = find_suite("fig15_16");
+  ASSERT_NE(suite, nullptr);
+  ASSERT_EQ(suite->runs.size(), 6u);
+  const std::vector<std::string> expected{"mq-c4",      "mq-opt-none",
+                                          "mq-opt-stick", "mq-opt-buf",
+                                          "mq-opt-full",  "mq-opt"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(suite->runs[i].scheduler, expected[i]) << i;
+  }
+  // The explicit TL/B combo pins both policies on the base key.
+  const SuiteRun& tlb = suite->runs[5];
+  EXPECT_EQ(tlb.params.get("insert-policy"), "local");
+  EXPECT_EQ(tlb.params.get("delete-policy"), "batch");
+}
+
+TEST(SuiteExpansion, Fig19_20PairsSkipListAndHeapVariants) {
+  const SuiteDef* suite = find_suite("fig19_20");
+  ASSERT_NE(suite, nullptr);
+  ASSERT_EQ(suite->runs.size(), 31u);
+  EXPECT_EQ(suite->runs[0].scheduler, "mq-c4");
+  std::vector<Tuple> expected;
+  for (const char* variant : {"smq-sl-p", "smq-p"}) {
+    for (const int denom : {2, 4, 8, 16, 32}) {
+      for (const char* size : {"1", "8", "64"}) {
+        expected.emplace_back(variant + std::to_string(denom), size);
+      }
+    }
+  }
+  EXPECT_EQ(grid_of(*suite, "steal-size"), expected);
+}
+
+TEST(SuiteExpansion, Table2_3IsTheClassicMqCSweep) {
+  const SuiteDef* suite = find_suite("table2_3");
+  ASSERT_NE(suite, nullptr);
+  ASSERT_EQ(suite->runs.size(), 5u);
+  const std::vector<std::string> expected{"mq-c1", "mq-c2", "mq-c4", "mq-c8",
+                                          "mq-c16"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(suite->runs[i].scheduler, expected[i]) << i;
+    EXPECT_TRUE(suite->runs[i].params.entries().empty())
+        << "the C-sweep lives in the presets, not run params";
+  }
+}
+
+// ---- sweep-spec CLI parsing -----------------------------------------------
+
+TEST(SweepSpecParsing, ThreadListsParseAndRejectGarbage) {
+  EXPECT_EQ(parse_thread_list("1,2,8"), (std::vector<unsigned>{1, 2, 8}));
+  EXPECT_EQ(parse_thread_list("4"), std::vector<unsigned>{4});
+  EXPECT_THROW(parse_thread_list("0"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("-2"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("2x"), std::invalid_argument);
+  // Overflow must be rejected, not narrowed: 2^32 + 1 would otherwise
+  // wrap to a silent 1-thread sweep.
+  EXPECT_THROW(parse_thread_list("4294967297"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_thread_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list(","), std::invalid_argument);
+}
+
+// ---- end-to-end through the shared runner ---------------------------------
+
+/// The smallest real suite, run end to end on a tiny graph: every row
+/// must validate, and the JSON must carry the suite name plus one
+/// uniquely-labelled row per config (the contract perf_check.py and the
+/// CI artifact rely on).
+TEST(SuiteRunner, Table2_3RunsEndToEndAndEmitsLabelledJson) {
+  const SuiteDef* suite = find_suite("table2_3");
+  ASSERT_NE(suite, nullptr);
+  SuiteOptions opts;
+  opts.threads = {2};
+  opts.cli_params.set("vertices", "300");
+  opts.json_path = "-";  // JSON to `out`, after the table
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_suite(*suite, opts, out, err), 0) << err.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"suite\": \"table2_3\""), std::string::npos);
+  for (const SuiteRun& run : suite->runs) {
+    EXPECT_NE(text.find("\"scheduler\": \"" + suite_run_label(run) + "\""),
+              std::string::npos)
+        << suite_run_label(run);
+  }
+  EXPECT_EQ(text.find("| NO |"), std::string::npos)
+      << "a row failed oracle validation:\n" << text;
+}
+
+/// CLI tunables flow into suite rows, but a run's own grid params win —
+/// otherwise one --steal-size would flatten fig1's sweep axis.
+TEST(SuiteRunner, RunGridParamsWinOverCliTunables) {
+  const SuiteDef* suite = find_suite("fig15_16");
+  ASSERT_NE(suite, nullptr);
+  SuiteOptions opts;
+  opts.threads = {1};
+  opts.cli_params.set("vertices", "200");
+  opts.cli_params.set("delete-policy", "local");  // conflicts with TL/B row
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_suite(*suite, opts, out, err), 0) << err.str();
+  // The TL/B row pins delete-policy=batch in its grid params; the run
+  // completing validly (and the suite exiting 0) shows the row params
+  // were applied over the CLI conflict rather than dropped.
+  EXPECT_NE(out.str().find("mq-opt (TL/B)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smq

@@ -33,11 +33,14 @@ import sys
 
 def sweep_id(report):
     """What distinguishes one pinned sweep from another: the algorithm,
-    the resolved graph, and the NUMA grid (if any)."""
+    the resolved graph, the NUMA grid (if any), and the figure suite (if
+    any) — suites share rows like the MQ baseline, which must not
+    collide when two suite reports are gated side by side."""
     return (
         report.get("algorithm", "?"),
         report.get("graph", {}).get("name", "?"),
         report.get("numa_grid", ""),
+        report.get("suite", ""),
     )
 
 
@@ -95,6 +98,11 @@ def main():
                     help="current report file; repeatable, one per sweep")
     ap.add_argument("--max-regression", type=float, default=0.15,
                     help="fail when current < baseline * (1 - this)")
+    ap.add_argument("--max-regression-mt", type=float, default=None,
+                    help="regression budget for multi-thread rows "
+                         "(threads > 1), which carry scheduling noise a "
+                         "single-thread run does not; defaults to twice "
+                         "--max-regression")
     ap.add_argument("--write-baseline", action="store_true",
                     help="merge current reports over baseline instead of "
                          "gating")
@@ -127,6 +135,9 @@ def main():
     baseline = rows_of(load_reports(args.baseline), args.baseline)
     current = rows_of(current_reports, ", ".join(args.current))
 
+    mt_budget = (args.max_regression_mt if args.max_regression_mt is not None
+                 else 2 * args.max_regression)
+
     failures = []
     compared = 0
     width = max(len("/".join(map(str, k))) for k in baseline)
@@ -148,18 +159,21 @@ def main():
                             f"({metric} vs {cur_metric})")
             continue
         compared += 1
+        budget = (mt_budget if base_row.get("threads", 1) > 1
+                  else args.max_regression)
         ratio = cur_value / base_value
-        flag = "" if ratio >= 1 - args.max_regression else "  << REGRESSION"
+        flag = "" if ratio >= 1 - budget else "  << REGRESSION"
         print(f"{name:<{width}}  {metric:>15}  {base_value:>10.3f} "
               f"{cur_value:>10.3f} {ratio:>7.2f}{flag}")
         if flag:
             failures.append(
                 f"{name}: {metric} fell {100 * (1 - ratio):.1f}% "
                 f"({base_value:.3f} -> {cur_value:.3f}), "
-                f"budget {100 * args.max_regression:.0f}%")
+                f"budget {100 * budget:.0f}%")
 
     print(f"\ncompared {compared}/{len(baseline)} baseline configurations "
-          f"(regression budget {100 * args.max_regression:.0f}%)")
+          f"(regression budget {100 * args.max_regression:.0f}% "
+          f"single-thread, {100 * mt_budget:.0f}% multi-thread)")
     if failures:
         print("\nperf_check: FAIL")
         for f in failures:

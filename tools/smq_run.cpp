@@ -11,9 +11,14 @@
 //           --threads 1,4 --reps 3 --json results.json
 //   smq_run --sched smq,mq-opt --dispatch static --graph-cache /tmp/graphs
 //   smq_run --sched smq --algo sssp --numa-grid nodes=1,2,4:k=1,4,8,16
+//   smq_run --suite fig3_6 --threads 4 --json fig3_6.json
 //
 // Scheduler/algorithm/graph tunables (see --list) are passed as plain
 // --key value options: --sched smq --steal-size 4 --p-steal 1/8 --numa k=8
+//
+// --suite expands one of the paper's figure sweeps (registry/suites.h)
+// over its scheduler presets — same table, same JSON rows; the suite
+// pins the preset grid, the CLI still controls graph/threads/reps.
 //
 // --numa-grid crosses a simulated-NUMA sweep (virtual node counts x
 // remote-weight divisors K, Section 4 / Tables 16-27) with the
@@ -25,10 +30,9 @@
 //   virtual  one AnyScheduler virtual call per push/pop (default)
 //   batched  one virtual call per task batch (--batch-size, default 64)
 //   static   directly instantiated concrete scheduler, no erasure
-//            (hot keys only — see static_dispatch.h; others fall back
-//            to virtual and say so)
+//            (hot config families and their presets — see
+//            static_dispatch.h; others fall back to virtual and say so)
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -40,98 +44,20 @@
 #include "registry/numa_grid.h"
 #include "registry/scheduler_registry.h"
 #include "registry/static_dispatch.h"
+#include "registry/suite_runner.h"
+#include "registry/suites.h"
 #include "support/cli.h"
-#include "support/json_writer.h"
 
 namespace {
 
 using namespace smq;
 
-struct ResultRow {
-  std::string scheduler;
-  unsigned requested_threads = 0;
-  unsigned threads = 0;  // effective (clamped) count
-  DispatchMode dispatch = DispatchMode::kVirtual;  // actually used
-  NumaGridPoint numa;       // this row's grid point (inactive w/o a grid)
-  bool numa_grid = false;   // row came from a --numa-grid sweep
-  AlgoResult result;
-  int reps = 1;
-};
-
-void write_json(std::ostream& os, const std::string& algo_name,
-                const GraphInstance& graph, const ParamMap& params,
-                DispatchMode requested_dispatch,
-                const std::string& numa_grid_spec, const AlgoReference* ref,
-                const std::vector<ResultRow>& rows) {
-  JsonWriter json(os);
-  json.begin_object();
-  json.member("tool", "smq_run");
-  json.member("algorithm", algo_name);
-  json.member("dispatch", std::string(to_string(requested_dispatch)));
-  if (!numa_grid_spec.empty()) json.member("numa_grid", numa_grid_spec);
-
-  json.key("graph").begin_object();
-  json.member("name", graph.name);
-  json.member("vertices", static_cast<std::uint64_t>(graph.graph->num_vertices()));
-  json.member("edges", static_cast<std::uint64_t>(graph.graph->num_edges()));
-  json.end_object();
-
-  json.key("params").begin_object();
-  for (const auto& [key, value] : params.entries()) json.member(key, value);
-  json.end_object();
-
-  if (ref != nullptr) {
-    json.key("reference").begin_object();
-    json.member("tasks", ref->reference_tasks);
-    json.member("answer", ref->reference_answer);
-    json.member("seconds", ref->seconds);
-    json.end_object();
+void print_suite_listing(std::ostream& os) {
+  os << "\nsuites (--suite NAME reproduces the paper artifact):\n";
+  for (const SuiteDef& suite : suites()) {
+    os << "  " << suite.name << " - " << suite.figure << ": "
+       << suite.description << " (" << suite.runs.size() << " configs)\n";
   }
-
-  json.key("results").begin_array();
-  for (const ResultRow& row : rows) {
-    const ThreadStats& stats = row.result.run.stats;
-    json.begin_object();
-    json.member("scheduler", row.scheduler);
-    json.member("threads", row.threads);
-    if (row.threads != row.requested_threads) {
-      json.member("requested_threads", row.requested_threads);
-    }
-    json.member("dispatch", std::string(to_string(row.dispatch)));
-    if (row.numa_grid) {
-      json.member("numa_nodes", row.numa.nodes);
-      if (row.numa.k_set) json.member("numa_k", row.numa.k);
-      json.member("internal_frac_expected",
-                  expected_internal_fraction(row.numa, row.threads));
-    }
-    json.member("seconds", row.result.run.seconds);
-    json.member("tasks", stats.pops);
-    json.member("wasted", stats.wasted);
-    json.member("pushes", stats.pushes);
-    json.member("empty_pops", stats.empty_pops);
-    json.member("steals", stats.steals);
-    if (stats.sampled_accesses > 0) {
-      json.member("sampled_accesses", stats.sampled_accesses);
-      json.member("remote_accesses", stats.remote_accesses);
-      json.member("remote_frac", stats.remote_frac());
-    }
-    if (ref != nullptr && ref->reference_tasks > 0) {
-      json.member("work_increase",
-                  row.result.run.work_increase(ref->reference_tasks));
-    }
-    if (ref != nullptr && ref->seconds > 0 && row.result.run.seconds > 0) {
-      json.member("speedup_vs_seq", ref->seconds / row.result.run.seconds);
-    }
-    json.member("reps", row.reps);
-    if (row.result.validated) {
-      json.member("valid", row.result.valid);
-    }
-    json.member("answer", row.result.answer);
-    json.end_object();
-  }
-  json.end_array();
-  json.end_object();
-  os << '\n';
 }
 
 int run(int argc, char** argv) {
@@ -139,62 +65,62 @@ int run(int argc, char** argv) {
 
   if (args.has_flag("help") || args.has_flag("h")) {
     std::cout
-        << "usage: smq_run [--list] [--sched NAMES|all] [--algo NAME] "
-           "[--graph NAME]\n"
-           "               [--threads N[,N...]] [--reps N] [--json PATH|-] "
-           "[--no-validate]\n"
-           "               [--dispatch virtual|batched|static] "
-           "[--batch-size N]\n"
+        << "usage: smq_run [--list] [--sched NAMES|all] [--suite NAME] "
+           "[--algo NAME]\n"
+           "               [--graph NAME] [--threads N[,N...]] [--reps N] "
+           "[--json PATH|-]\n"
+           "               [--no-validate] [--dispatch "
+           "virtual|batched|static] [--batch-size N]\n"
            "               [--numa-grid nodes=N,..:k=K,..] "
            "[--graph-cache DIR]\n"
            "               [--<tunable> VALUE ...]\n\n"
            "Runs algorithm x scheduler x threads sweeps over a graph and "
            "prints a table\nplus optional JSON. `--list` shows every "
-           "registered scheduler, algorithm and\ngraph source with its "
-           "tunables. `--dispatch` picks the scheduler-boundary\nmode "
-           "(virtual erasure, batched erasure, or concrete static "
-           "instantiation);\n`--graph-cache DIR` caches generated graphs "
-           "as binary CSR keyed by their\nparameters so repeated sweeps "
-           "skip generation; `--numa-grid` crosses the sweep\nwith "
-           "simulated-NUMA grid points (nodes x K), each row reporting "
-           "its measured\nremote-access fraction.\n";
+           "registered scheduler, algorithm,\ngraph source and figure suite "
+           "with its tunables. `--suite` expands one of\nthe paper's figure "
+           "sweeps over its scheduler presets. `--dispatch` picks\nthe "
+           "scheduler-boundary mode (virtual erasure, batched erasure, or "
+           "concrete\nstatic instantiation); `--graph-cache DIR` caches "
+           "generated graphs as binary\nCSR keyed by their parameters so "
+           "repeated sweeps skip generation;\n`--numa-grid` crosses the "
+           "sweep with simulated-NUMA grid points (nodes x K),\neach row "
+           "reporting its measured remote-access fraction.\n";
     return 0;
   }
   if (args.has_flag("list")) {
     print_registry_listing(std::cout);
+    print_suite_listing(std::cout);
     return 0;
+  }
+
+  // ---- suite delegation ------------------------------------------------
+  // A suite is a pinned sweep; the shared runner owns its whole CLI.
+  if (args.has_flag("suite")) {
+    if (args.has_flag("numa-grid")) {
+      std::cerr << "--suite and --numa-grid cannot be combined (suites pin "
+                   "their own sweep axes)\n";
+      return 2;
+    }
+    if (args.has_flag("sched")) {
+      std::cerr << "--suite and --sched cannot be combined (the suite "
+                   "names its schedulers)\n";
+      return 2;
+    }
+    const std::string suite_name = args.get("suite");
+    if (find_suite(suite_name) == nullptr) {
+      std::cerr << unknown_suite_message(suite_name) << "\n";
+      return 2;
+    }
+    return run_suite_main(suite_name, argc, argv);
   }
 
   ParamMap params = ParamMap::from_args(args);
 
   // ---- dispatch mode ---------------------------------------------------
-  const std::string dispatch_name = args.get("dispatch", "virtual");
   const std::optional<DispatchMode> dispatch =
-      parse_dispatch_mode(dispatch_name);
-  if (!dispatch) {
-    std::cerr << "unknown dispatch mode: " << dispatch_name
-              << " (expected virtual, batched or static)\n";
-    return 2;
-  }
-  // Batched dispatch amortizes the erasure boundary over --batch-size
-  // tasks; default it so `--dispatch batched` alone does something.
-  if (*dispatch == DispatchMode::kBatched && !params.has("batch-size")) {
-    params.set("batch-size", "64");
-  }
-  // The executor picks its loop from batch-size alone, so normalize the
-  // recorded mode to what will actually run: `--batch-size 64` without
-  // `--dispatch` IS a batched run, and `--dispatch batched
-  // --batch-size 1` is a per-task one. The perf gate keys baseline rows
-  // on this label; it must not lie.
-  DispatchMode mode = *dispatch;
-  if (mode != DispatchMode::kStatic) {
-    mode = params.get_int("batch-size", 1) > 1 ? DispatchMode::kBatched
-                                               : DispatchMode::kVirtual;
-    if (mode != *dispatch) {
-      std::cerr << "note: --batch-size " << params.get("batch-size", "1")
-                << " makes this a " << to_string(mode) << " run\n";
-    }
-  }
+      resolve_dispatch_mode(args, params, std::cerr);
+  if (!dispatch) return 2;
+  const DispatchMode mode = *dispatch;
 
   // ---- resolve the three registry axes --------------------------------
   const std::string algo_name = args.get("algo", "sssp");
@@ -230,13 +156,11 @@ int run(int argc, char** argv) {
   }
 
   std::vector<unsigned> thread_counts;
-  for (const std::string& t : split_list(args.get("threads", "4"), ',')) {
-    const long n = std::strtol(t.c_str(), nullptr, 10);
-    if (n <= 0) {
-      std::cerr << "bad thread count: " << t << "\n";
-      return 2;
-    }
-    thread_counts.push_back(static_cast<unsigned>(n));
+  try {
+    thread_counts = parse_thread_list(args.get("threads", "4"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
   }
   const int reps = static_cast<int>(args.get_int("reps", 1));
   const bool validate = !args.has_flag("no-validate");
@@ -269,18 +193,18 @@ int run(int argc, char** argv) {
               << " points)\n";
   }
 
+  SweepReport report;
+  report.algorithm = algo_name;
+  report.graph = graph;
+  report.params = params;
+  report.dispatch = mode;
+  report.numa_grid_spec = numa_grid_spec;
+
   // ---- sequential oracle ----------------------------------------------
   AlgoReference reference;
-  bool have_reference = false;
   if (validate) {
-    reference = algo->make_reference(graph, params);
-    // Best-of-reps, like the parallel rows: speedup_vs_seq feeds the CI
-    // perf gate, so the normalizer must not be a single noisy sample.
-    for (int rep = 1; rep < reps; ++rep) {
-      const AlgoReference again = algo->make_reference(graph, params);
-      if (again.seconds < reference.seconds) reference.seconds = again.seconds;
-    }
-    have_reference = true;
+    reference = measure_reference(*algo, graph, params, reps);
+    report.reference = &reference;
     std::cout << "reference: " << reference.reference_tasks << " tasks, "
               << TablePrinter::fmt(reference.seconds * 1e3)
               << " ms sequential\n";
@@ -288,12 +212,12 @@ int run(int argc, char** argv) {
   std::cout << '\n';
 
   // ---- the sweep -------------------------------------------------------
-  std::vector<ResultRow> rows;
   bool any_invalid = false;
   for (const std::string& name : sched_names) {
     const SchedulerEntry* entry = SchedulerRegistry::instance().find(name);
-    // Static dispatch covers the hot keys only; anything else keeps its
-    // uniform virtual path (and the row says so).
+    // Static dispatch covers the hot config families (and their presets)
+    // only; anything else keeps its uniform virtual path (and the row
+    // says so).
     DispatchMode row_dispatch = mode;
     if (row_dispatch == DispatchMode::kStatic && !has_static_dispatch(name)) {
       std::cerr << "note: no static dispatch entry for '" << name
@@ -323,7 +247,8 @@ int run(int argc, char** argv) {
       if (apply_grid) apply_numa_point(run_params, point);
       for (const unsigned requested : thread_counts) {
         const unsigned threads = effective_threads(*entry, requested);
-        ResultRow row;
+        SweepRow row;
+        row.label = name;
         row.scheduler = name;
         row.requested_threads = requested;
         row.threads = threads;
@@ -335,78 +260,19 @@ int run(int argc, char** argv) {
         if (row.numa.nodes > threads) row.numa.nodes = threads;
         row.numa_grid = apply_grid;
         row.reps = std::max(1, reps);
-        for (int rep = 0; rep < row.reps; ++rep) {
-          AlgoResult result;
-          std::optional<AlgoResult> static_result;
-          if (row_dispatch == DispatchMode::kStatic) {
-            static_result =
-                run_static_dispatch(name, algo_name, graph, threads,
-                                    run_params,
-                                    have_reference ? &reference : nullptr);
-          }
-          if (static_result) {
-            result = *static_result;
-          } else {
-            AnyScheduler sched = entry->make(threads, run_params);
-            result = algo->run(graph, sched, threads, run_params,
-                               have_reference ? &reference : nullptr);
-          }
-          const bool better = rep == 0 ||
-                              (result.valid && !row.result.valid) ||
-                              (result.valid == row.result.valid &&
-                               result.run.seconds < row.result.run.seconds);
-          if (better) row.result = result;
-        }
+        row.result =
+            measure_sweep_row(*entry, name, *algo, algo_name, graph, threads,
+                              run_params, row_dispatch, report.reference, reps);
         if (row.result.validated && !row.result.valid) any_invalid = true;
-        rows.push_back(std::move(row));
+        report.rows.push_back(std::move(row));
       }
     }
   }
 
-  // ---- ASCII table -----------------------------------------------------
-  TablePrinter table({"scheduler", "threads", "dispatch", "numa", "time ms",
-                      "tasks", "wasted", "work inc", "speedup", "remote",
-                      "valid"});
-  for (const ResultRow& row : rows) {
-    const ThreadStats& stats = row.result.run.stats;
-    const double work_inc =
-        have_reference && reference.reference_tasks > 0
-            ? row.result.run.work_increase(reference.reference_tasks)
-            : 0;
-    const double speedup =
-        have_reference && row.result.run.seconds > 0
-            ? reference.seconds / row.result.run.seconds
-            : 0;
-    table.add_row(
-        {row.scheduler, std::to_string(row.threads),
-         std::string(to_string(row.dispatch)),
-         row.numa_grid ? row.numa.label() : params.get("numa", "-"),
-         TablePrinter::fmt(row.result.run.seconds * 1e3),
-         std::to_string(stats.pops), std::to_string(stats.wasted),
-         have_reference ? TablePrinter::fmt(work_inc) : "-",
-         have_reference ? TablePrinter::fmt(speedup) : "-",
-         stats.sampled_accesses > 0 ? TablePrinter::fmt(stats.remote_frac())
-                                    : "-",
-         row.result.validated ? (row.result.valid ? "yes" : "NO") : "-"});
-  }
-  table.print(std::cout);
-
-  // ---- JSON ------------------------------------------------------------
-  const std::string json_path = args.get("json");
-  if (!json_path.empty()) {
-    if (json_path == "-") {
-      write_json(std::cout, algo_name, graph, params, mode, numa_grid_spec,
-                 have_reference ? &reference : nullptr, rows);
-    } else {
-      std::ofstream out(json_path);
-      if (!out) {
-        std::cerr << "cannot write " << json_path << "\n";
-        return 2;
-      }
-      write_json(out, algo_name, graph, params, mode, numa_grid_spec,
-                 have_reference ? &reference : nullptr, rows);
-      std::cout << "\nwrote " << json_path << "\n";
-    }
+  // ---- ASCII table + JSON ---------------------------------------------
+  print_sweep_table(std::cout, report);
+  if (!emit_sweep_json(report, args.get("json"), std::cout, std::cerr)) {
+    return 2;
   }
 
   if (any_invalid) {
