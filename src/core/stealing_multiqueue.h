@@ -12,6 +12,11 @@
 // The local queue type is a template parameter: DAryHeap (Section 4) or
 // SequentialSkipList (Appendix D). NUMA-aware victim sampling (Section 4)
 // plugs in through QueueSampler.
+//
+// The hot path lives on the per-thread Handle (HandleScheduler in
+// scheduler_traits.h): acquiring `handle(tid)` resolves the thread's
+// Local slot — local queue, stolen-task buffer, victim RNG — once; the
+// tid-indexed methods are thin shims over a freshly built handle.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +28,7 @@
 #include "core/heap_with_stealing.h"
 #include "core/numa_sampler.h"
 #include "queues/d_ary_heap.h"
+#include "sched/scheduler_traits.h"
 #include "sched/stats.h"
 #include "sched/task.h"
 #include "support/padding.h"
@@ -42,6 +48,9 @@ struct SmqConfig {
 
 template <typename LocalPQ = DAryHeap<Task, 4>>
 class StealingMultiQueue {
+ private:
+  struct Local;
+
  public:
   using QueueType = HeapWithStealingBuffer<LocalPQ>;
 
@@ -61,51 +70,86 @@ class StealingMultiQueue {
 
   unsigned num_threads() const noexcept { return num_threads_; }
 
-  /// insert(task): purely local (paper Listing 2, lines 6-7).
-  void push(unsigned tid, Task task) {
-    locals_[tid].value.queue->add_local(task);
-  }
+  /// Per-thread view with the thread's Local slot resolved once; the
+  /// entire hot path (paper Listing 2) is implemented here.
+  class Handle {
+   public:
+    Handle(StealingMultiQueue& sched, unsigned tid) noexcept
+        : sched_(&sched), me_(&sched.locals_[tid].value), tid_(tid) {}
 
-  /// Bulk insert: local-queue inserts take no locks, so the batch op is
-  /// just the loop — its value is letting callers behind a dispatch
-  /// boundary (AnyScheduler) cross it once for the whole span.
+    /// insert(task): purely local (paper Listing 2, lines 6-7).
+    void push(Task task) { me_->queue->add_local(task); }
+
+    /// Bulk insert: local-queue inserts take no locks, so the batch op is
+    /// just the loop — its value is letting callers behind a dispatch
+    /// boundary (AnyScheduler) cross it once for the whole span.
+    void push_batch(std::span<const Task> tasks) {
+      QueueType& queue = *me_->queue;
+      for (const Task& task : tasks) queue.add_local(task);
+    }
+
+    /// delete(): stolen-task buffer, then probabilistic steal, then the
+    /// local queue, then a forced steal (paper Listing 2, lines 9-24).
+    std::optional<Task> try_pop() {
+      Local& me = *me_;
+      if (me.next_stolen < me.stolen_tasks.size()) {
+        return me.stolen_tasks[me.next_stolen++];
+      }
+      if (me.rng.next_bool(sched_->cfg_.p_steal)) {
+        if (std::optional<Task> task = sched_->try_steal(tid_, me)) return task;
+      }
+      if (std::optional<Task> task = sched_->extract_top_local(me)) return task;
+      return sched_->try_steal(tid_, me);  // local queue drained
+    }
+
+    /// Bulk extract: hand out the remainder of the last stolen batch
+    /// wholesale (instead of dribbling it through per-pop calls), then
+    /// top up from the usual pop path.
+    std::size_t try_pop_batch(std::vector<Task>& out, std::size_t max) {
+      Local& me = *me_;
+      std::size_t taken = 0;
+      while (taken < max && me.next_stolen < me.stolen_tasks.size()) {
+        out.push_back(me.stolen_tasks[me.next_stolen++]);
+        ++taken;
+      }
+      return taken + handle_pop_loop(*this, out, max - taken);
+    }
+
+    /// Inserts are purely local and immediately poppable; nothing to
+    /// publish.
+    void flush() noexcept {}
+
+    /// Fold this thread's scheduler-private counters into the executor's
+    /// per-thread stats: steal tallies plus the NUMA victim-sampling
+    /// attribution that ExecStats reports as remote_accesses /
+    /// sampled_accesses.
+    void collect_stats(ThreadStats& st) const noexcept {
+      collect_into(*me_, st);
+    }
+
+    unsigned thread_id() const noexcept { return tid_; }
+
+   private:
+    StealingMultiQueue* sched_;
+    Local* me_;
+    unsigned tid_;
+  };
+
+  Handle handle(unsigned tid) noexcept { return Handle(*this, tid); }
+
+  // ---- tid-indexed shims (legacy surface) ------------------------------
+
+  void push(unsigned tid, Task task) { handle(tid).push(task); }
   void push_batch(unsigned tid, std::span<const Task> tasks) {
-    QueueType& queue = *locals_[tid].value.queue;
-    for (const Task& task : tasks) queue.add_local(task);
+    handle(tid).push_batch(tasks);
   }
-
-  /// Bulk extract: hand out the remainder of the last stolen batch
-  /// wholesale (instead of dribbling it through per-pop calls), then top
-  /// up from the usual pop path.
+  std::optional<Task> try_pop(unsigned tid) { return handle(tid).try_pop(); }
   std::size_t try_pop_batch(unsigned tid, std::vector<Task>& out,
                             std::size_t max) {
-    Local& me = locals_[tid].value;
-    std::size_t taken = 0;
-    while (taken < max && me.next_stolen < me.stolen_tasks.size()) {
-      out.push_back(me.stolen_tasks[me.next_stolen++]);
-      ++taken;
-    }
-    while (taken < max) {
-      std::optional<Task> task = try_pop(tid);
-      if (!task) break;
-      out.push_back(*task);
-      ++taken;
-    }
-    return taken;
+    return handle(tid).try_pop_batch(out, max);
   }
-
-  /// delete(): stolen-task buffer, then probabilistic steal, then the
-  /// local queue, then a forced steal (paper Listing 2, lines 9-24).
-  std::optional<Task> try_pop(unsigned tid) {
-    Local& me = locals_[tid].value;
-    if (me.next_stolen < me.stolen_tasks.size()) {
-      return me.stolen_tasks[me.next_stolen++];
-    }
-    if (me.rng.next_bool(cfg_.p_steal)) {
-      if (std::optional<Task> task = try_steal(tid)) return task;
-    }
-    if (std::optional<Task> task = extract_top_local(me)) return task;
-    return try_steal(tid);  // local queue drained
+  void collect_stats(unsigned tid, ThreadStats& st) const noexcept {
+    collect_into(locals_[tid].value, st);
   }
 
   // ---- introspection ---------------------------------------------------
@@ -121,18 +165,6 @@ class StealingMultiQueue {
   }
   std::uint64_t steal_samples(unsigned tid) const noexcept {
     return locals_[tid].value.steal_samples;
-  }
-
-  /// Fold this thread's scheduler-private counters into the executor's
-  /// per-thread stats (StatReportingScheduler): steal tallies plus the
-  /// NUMA victim-sampling attribution that ExecStats reports as
-  /// remote_accesses / sampled_accesses.
-  void collect_stats(unsigned tid, ThreadStats& st) const noexcept {
-    const Local& me = locals_[tid].value;
-    st.steals += me.steals;
-    st.steal_fails += me.steal_fails;
-    st.sampled_accesses += me.steal_samples;
-    st.remote_accesses += me.remote_steals;
   }
   std::size_t local_heap_size(unsigned tid) const noexcept {
     return locals_[tid].value.queue->heap_size();
@@ -157,9 +189,17 @@ class StealingMultiQueue {
     std::uint64_t remote_steals = 0;
   };
 
+  /// One stat-folding body shared by the handle and tid surfaces (the
+  /// only reason it is not a handle call is that handle() is non-const).
+  static void collect_into(const Local& me, ThreadStats& st) noexcept {
+    st.steals += me.steals;
+    st.steal_fails += me.steal_fails;
+    st.sampled_accesses += me.steal_samples;
+    st.remote_accesses += me.remote_steals;
+  }
+
   /// trySteal() (paper Listing 2, lines 26-39).
-  std::optional<Task> try_steal(unsigned tid) {
-    Local& me = locals_[tid].value;
+  std::optional<Task> try_steal(unsigned tid, Local& me) {
     if (num_threads_ <= 1) return std::nullopt;
     // Self-exclusion must be bounded: a heavily weighted sampler on a
     // one-thread node returns `tid` with probability ~1, so the naive
@@ -224,5 +264,8 @@ class StealingMultiQueue {
 
 /// The heap-based SMQ the paper evaluates as its main configuration.
 using SmqHeap = StealingMultiQueue<DAryHeap<Task, 4>>;
+
+static_assert(HandleScheduler<SmqHeap>,
+              "the paper's primary scheduler must expose native handles");
 
 }  // namespace smq

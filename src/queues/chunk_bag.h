@@ -67,12 +67,16 @@ class ChunkBag {
 
   /// Push a full (or final partial) chunk onto `node`'s stack.
   void push_chunk(unsigned node, Chunk* chunk) noexcept {
+    // Capture the count before the chunk is published: one unlock later
+    // it can already be popped and drained by another thread, and
+    // chunk->count is not ours to read anymore.
+    const std::uint32_t count = chunk->count;
     NodeStack& stack = stacks_[node].value;
     stack.lock.lock();
     chunk->next = stack.top.load(std::memory_order_relaxed);
     stack.top.store(chunk, std::memory_order_relaxed);
     stack.lock.unlock();
-    tasks_.fetch_add(chunk->count, std::memory_order_release);
+    tasks_.fetch_add(count, std::memory_order_release);
   }
 
   /// Pop a chunk, preferring `node`'s own stack; steals round-robin from

@@ -24,9 +24,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "queues/chunk_bag.h"
+#include "sched/scheduler_traits.h"
+#include "sched/stats.h"
 #include "sched/task.h"
 #include "sched/topology.h"
 #include "support/padding.h"
@@ -54,6 +57,9 @@ struct ObimConfig {
 };
 
 class Obim {
+ private:
+  struct Local;
+
  public:
   using Config = ObimConfig;
 
@@ -88,67 +94,105 @@ class Obim {
     return shift_.load(std::memory_order_relaxed);
   }
 
-  void push(unsigned tid, Task task) {
-    Local& local = locals_[tid].value;
-    const std::uint64_t level = level_of(task.priority);
-    if (local.push_chunk != nullptr && local.push_level == level &&
-        !local.push_chunk->full(cfg_.chunk_size)) {
-      local.push_chunk->push(task);
-      return;
-    }
-    flush_push_chunk(local);
-    local.push_chunk = new Chunk();
-    local.push_level = level;
-    local.push_chunk->push(task);
-  }
+  /// Per-thread view with the thread's bucket cursor (push chunk + its
+  /// level, pop chunk, level-map mirror) resolved once.
+  class Handle {
+   public:
+    Handle(Obim& sched, unsigned tid) noexcept
+        : sched_(&sched), me_(&sched.locals_[tid].value), tid_(tid) {}
 
-  std::optional<Task> try_pop(unsigned tid) {
-    Local& local = locals_[tid].value;
-    if (local.pop_chunk != nullptr && !local.pop_chunk->empty()) {
-      return local.pop_chunk->pop();
-    }
-    maybe_adapt(local);
-    // The freshest (and often highest-priority) tasks are in our own
-    // unflushed push chunk; flush it so they are poppable in level order.
-    flush_push_chunk(local);
-
-    refresh_mirror_if_stale(local);
-
-    // Full in-order scan: levels can refill below any cached position
-    // (another thread may still be expanding a lower-level chunk), so no
-    // scan-start shortcut is sound. The per-level check is one atomic
-    // load, amortized over CHUNK_SIZE pops.
-    for (std::size_t i = 0; i < local.mirror.size(); ++i) {
-      auto& [level, bag] = local.mirror[i];
-      if (bag->looks_empty()) {
-        ++local.scanned_empty;
-        continue;
+    void push(Task task) {
+      Local& local = *me_;
+      const std::uint64_t level = sched_->level_of(task.priority);
+      if (local.push_chunk != nullptr && local.push_level == level &&
+          !local.push_chunk->full(sched_->cfg_.chunk_size)) {
+        local.push_chunk->push(task);
+        return;
       }
-      if (Chunk* chunk = bag->pop_chunk(local.node)) {
-        delete local.pop_chunk;
-        local.pop_chunk = chunk;
-        ++local.pops;
+      sched_->flush_push_chunk(local);
+      local.push_chunk = new Chunk();
+      local.push_level = level;
+      local.push_chunk->push(task);
+    }
+
+    /// Bulk insert: consecutive tasks of one level share the chunk-fill
+    /// fast path; the batch's value is one boundary crossing for the span.
+    void push_batch(std::span<const Task> tasks) {
+      for (const Task& task : tasks) push(task);
+    }
+
+    std::optional<Task> try_pop() {
+      Local& local = *me_;
+      if (local.pop_chunk != nullptr && !local.pop_chunk->empty()) {
         return local.pop_chunk->pop();
       }
-      ++local.scanned_empty;
-    }
-    // Mirror may be stale even if version matched at entry; force resync
-    // once before reporting empty.
-    if (refresh_mirror(local)) {
-      for (auto& [level, bag] : local.mirror) {
-        if (bag->looks_empty()) continue;
+      sched_->maybe_adapt(local);
+      // The freshest (and often highest-priority) tasks are in our own
+      // unflushed push chunk; flush it so they are poppable in level
+      // order.
+      sched_->flush_push_chunk(local);
+
+      sched_->refresh_mirror_if_stale(local);
+
+      // Full in-order scan: levels can refill below any cached position
+      // (another thread may still be expanding a lower-level chunk), so
+      // no scan-start shortcut is sound. The per-level check is one
+      // atomic load, amortized over CHUNK_SIZE pops.
+      for (std::size_t i = 0; i < local.mirror.size(); ++i) {
+        auto& [level, bag] = local.mirror[i];
+        if (bag->looks_empty()) {
+          ++local.scanned_empty;
+          continue;
+        }
         if (Chunk* chunk = bag->pop_chunk(local.node)) {
           delete local.pop_chunk;
           local.pop_chunk = chunk;
           ++local.pops;
           return local.pop_chunk->pop();
         }
+        ++local.scanned_empty;
       }
+      // Mirror may be stale even if version matched at entry; force
+      // resync once before reporting empty.
+      if (sched_->refresh_mirror(local)) {
+        for (auto& [level, bag] : local.mirror) {
+          if (bag->looks_empty()) continue;
+          if (Chunk* chunk = bag->pop_chunk(local.node)) {
+            delete local.pop_chunk;
+            local.pop_chunk = chunk;
+            ++local.pops;
+            return local.pop_chunk->pop();
+          }
+        }
+      }
+      return std::nullopt;
     }
-    return std::nullopt;
-  }
 
-  void flush(unsigned tid) { flush_push_chunk(locals_[tid].value); }
+    std::size_t try_pop_batch(std::vector<Task>& out, std::size_t max) {
+      return handle_pop_loop(*this, out, max);
+    }
+
+    /// Publish the thread's partially filled push chunk (termination).
+    void flush() { sched_->flush_push_chunk(*me_); }
+
+    /// OBIM keeps no executor-reportable counters.
+    void collect_stats(ThreadStats&) const noexcept {}
+
+    unsigned thread_id() const noexcept { return tid_; }
+
+   private:
+    Obim* sched_;
+    Local* me_;
+    unsigned tid_;
+  };
+
+  Handle handle(unsigned tid) noexcept { return Handle(*this, tid); }
+
+  // ---- tid-indexed shims (legacy surface) ------------------------------
+
+  void push(unsigned tid, Task task) { handle(tid).push(task); }
+  std::optional<Task> try_pop(unsigned tid) { return handle(tid).try_pop(); }
+  void flush(unsigned tid) { handle(tid).flush(); }
 
  private:
   struct Local {
@@ -263,6 +307,8 @@ class Obim {
   std::map<std::uint64_t, std::unique_ptr<ChunkBag>> levels_;
   std::atomic<std::uint64_t> version_{1};
 };
+
+static_assert(HandleScheduler<Obim>);
 
 /// PMOD is OBIM with runtime delta adaptation enabled (paper Section 1,
 /// [27]); starting delta and chunk size remain tunable.

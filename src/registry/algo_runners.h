@@ -2,11 +2,17 @@
 //
 // Each run_*_algo<S>() runs one registered workload under a scheduler of
 // *any* concrete type modelling PriorityScheduler and validates against
-// the sequential oracle. The algorithm registry instantiates them with
-// S = AnyScheduler (one virtual call per scheduler op); the static
-// dispatch table (static_dispatch.h) instantiates them with the concrete
-// scheduler types, so both paths share the exact oracle-comparison and
-// checksum logic and can never drift apart.
+// the sequential oracle. All three dispatch modes resolve to the same
+// handle API underneath: the executor acquires one per-thread handle
+// (handle_adapted) per run, so
+//  * the algorithm registry instantiates these with S = AnyScheduler,
+//    whose handle() crosses the HandleView virtual boundary — one
+//    acquisition per thread, then one virtual per op (--dispatch
+//    virtual) or per batch (--dispatch batched);
+//  * the static dispatch table (static_dispatch.h) instantiates them
+//    with the concrete scheduler types, whose native handles inline.
+// Both paths share the exact oracle-comparison and checksum logic and
+// can never drift apart.
 #pragma once
 
 #include <cmath>

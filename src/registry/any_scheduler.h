@@ -4,18 +4,27 @@
 // PriorityScheduler concept, which forces template instantiation at every
 // call site (the seed's benches each hand-listed every scheduler type).
 // AnyScheduler wraps any concrete scheduler behind one virtual interface
-// while itself modelling FlushableScheduler, so Executor and every
-// algorithm template instantiate exactly once for it — runtime scheduler
-// selection with a single indirect call per push/pop. The indirection is
-// uniform across schedulers, which is what a comparison harness needs;
-// perf-critical single-scheduler code can still use static dispatch
-// (src/registry/static_dispatch.h).
+// while itself modelling FlushableScheduler *and* HandleScheduler, so
+// Executor and every algorithm template instantiate exactly once for it —
+// runtime scheduler selection with a single indirect call per operation.
+// The indirection is uniform across schedulers, which is what a
+// comparison harness needs; perf-critical single-scheduler code can still
+// use static dispatch (src/registry/static_dispatch.h).
 //
-// The batch entry points (push_batch / try_pop_batch) cross the virtual
-// boundary once per batch instead of once per task; each Model forwards
-// to the scheduler's native batch ops when the BatchPush/BatchPop
-// concepts detect them, and to a plain loop on the concrete type
-// otherwise — so even the fallback pays the indirection only once.
+// Three boundaries, cheapest first:
+//  * HandleView (via handle(tid)): the executor acquires one erased
+//    per-thread handle per run. Acquisition resolves the concrete
+//    scheduler's thread-local state once — the view wraps the concrete
+//    S::Handle (or its TidHandle shim) — so each subsequent operation is
+//    one virtual call with no tid re-indexing behind it.
+//  * The batch entry points (push_batch / try_pop_batch): cross the
+//    virtual boundary once per batch instead of once per task; each
+//    Model forwards to the scheduler's native batch ops when the
+//    BatchPush/BatchPop concepts detect them, and to a plain loop on the
+//    concrete type otherwise — so even the fallback pays the indirection
+//    only once.
+//  * The tid-indexed per-op virtuals: the legacy surface, kept for
+//    callers that poke a single operation (tests, micro-benches).
 #pragma once
 
 #include <cstddef>
@@ -32,6 +41,50 @@ namespace smq {
 
 class AnyScheduler {
  public:
+  /// The erased per-thread handle interface. One virtual call per
+  /// operation; the model behind it holds the concrete scheduler's
+  /// native handle, so the thread-state resolution the tid virtuals pay
+  /// per call has already happened at acquisition.
+  class HandleView {
+   public:
+    virtual ~HandleView() = default;
+    virtual void push(Task t) = 0;
+    virtual std::optional<Task> try_pop() = 0;
+    virtual void push_batch(std::span<const Task> tasks) = 0;
+    virtual std::size_t try_pop_batch(std::vector<Task>& out,
+                                      std::size_t max) = 0;
+    virtual void flush() = 0;
+    virtual void collect_stats(ThreadStats& st) const = 0;
+    virtual unsigned thread_id() const = 0;
+  };
+
+  /// The value type handle() returns: owns the erased view and models
+  /// SchedulerHandle, so the executor treats AnyScheduler handles and
+  /// concrete handles identically. Acquiring one costs an allocation —
+  /// per thread per run, not per operation.
+  class Handle {
+   public:
+    explicit Handle(std::unique_ptr<HandleView> view) noexcept
+        : view_(std::move(view)) {}
+
+    void push(Task t) { view_->push(t); }
+    std::optional<Task> try_pop() { return view_->try_pop(); }
+    void push_batch(std::span<const Task> tasks) { view_->push_batch(tasks); }
+    std::size_t try_pop_batch(std::vector<Task>& out, std::size_t max) {
+      return view_->try_pop_batch(out, max);
+    }
+    void flush() { view_->flush(); }
+    void collect_stats(ThreadStats& st) const { view_->collect_stats(st); }
+    unsigned thread_id() const { return view_->thread_id(); }
+
+    /// The erased view, for callers that want to hold the boundary
+    /// directly (tests).
+    HandleView& view() noexcept { return *view_; }
+
+   private:
+    std::unique_ptr<HandleView> view_;
+  };
+
   AnyScheduler() = default;
   AnyScheduler(AnyScheduler&&) noexcept = default;
   AnyScheduler& operator=(AnyScheduler&&) noexcept = default;
@@ -52,6 +105,9 @@ class AnyScheduler {
   void attach(std::shared_ptr<void> dependency) {
     deps_ = std::move(dependency);
   }
+
+  /// Acquire the per-thread handle (HandleScheduler interface).
+  Handle handle(unsigned tid) { return Handle(impl_->acquire(tid)); }
 
   // ---- PriorityScheduler / FlushableScheduler interface ---------------
 
@@ -89,12 +145,38 @@ class AnyScheduler {
     virtual void flush(unsigned tid) = 0;
     virtual void collect_stats(unsigned tid, ThreadStats& st) const = 0;
     virtual unsigned num_threads() const = 0;
+    virtual std::unique_ptr<HandleView> acquire(unsigned tid) = 0;
   };
 
   template <PriorityScheduler S>
   struct Model final : Concept {
     template <typename... Args>
     explicit Model(Args&&... args) : sched(std::forward<Args>(args)...) {}
+
+    /// The erased handle: wraps whatever handle_adapted() yields for S —
+    /// the native S::Handle when S models HandleScheduler, the TidHandle
+    /// shim otherwise. Either way the concrete handle is resolved here,
+    /// once, and every virtual below is a plain forward.
+    struct HandleModel final : HandleView {
+      HandleModel(S& sched, unsigned tid) : h(handle_adapted(sched, tid)) {}
+
+      void push(Task t) override { h.push(t); }
+      std::optional<Task> try_pop() override { return h.try_pop(); }
+      void push_batch(std::span<const Task> tasks) override {
+        h.push_batch(tasks);
+      }
+      std::size_t try_pop_batch(std::vector<Task>& out,
+                                std::size_t max) override {
+        return h.try_pop_batch(out, max);
+      }
+      void flush() override { h.flush(); }
+      void collect_stats(ThreadStats& st) const override {
+        h.collect_stats(st);
+      }
+      unsigned thread_id() const override { return h.thread_id(); }
+
+      HandleOf<S> h;
+    };
 
     void push(unsigned tid, Task t) override { sched.push(tid, t); }
     std::optional<Task> try_pop(unsigned tid) override {
@@ -112,6 +194,9 @@ class AnyScheduler {
       collect_stats_if_supported(sched, tid, st);
     }
     unsigned num_threads() const override { return sched.num_threads(); }
+    std::unique_ptr<HandleView> acquire(unsigned tid) override {
+      return std::make_unique<HandleModel>(sched, tid);
+    }
 
     S sched;
   };
@@ -127,5 +212,8 @@ static_assert(BatchPushScheduler<AnyScheduler> &&
               "AnyScheduler must expose the one-virtual-call-per-batch path");
 static_assert(StatReportingScheduler<AnyScheduler>,
               "AnyScheduler must forward scheduler-private stat collection");
+static_assert(HandleScheduler<AnyScheduler>,
+              "AnyScheduler must expose the once-per-run handle boundary");
+static_assert(SchedulerHandle<AnyScheduler::Handle>);
 
 }  // namespace smq

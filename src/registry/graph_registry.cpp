@@ -178,6 +178,7 @@ void register_builtins(GraphRegistry& reg) {
             if (!coords.empty()) load_dimacs_co(coords, graph);
             return wrap(std::move(graph), "dimacs(" + path + ")");
           },
+      .inline_param = "file",
   });
 
   reg.add({
@@ -193,7 +194,35 @@ void register_builtins(GraphRegistry& reg) {
             }
             return wrap(load_binary_graph(path), "binary(" + path + ")");
           },
+      .inline_param = "file",
   });
+}
+
+/// Resolve `name` against the registry, honouring the "source:ARG"
+/// inline shorthand of file sources: the suffix after the first ':'
+/// lands in the entry's inline_param tunable (an explicit --file wins
+/// only if the shorthand is absent — the shorthand *is* the file).
+struct ResolvedSource {
+  const GraphSourceEntry* entry = nullptr;
+  ParamMap params;
+};
+
+ResolvedSource resolve_source(const GraphRegistry& reg, std::string_view name,
+                              const ParamMap& params) {
+  if (const GraphSourceEntry* entry = reg.find(name)) {
+    return {entry, params};
+  }
+  const std::size_t colon = name.find(':');
+  if (colon != std::string_view::npos) {
+    const GraphSourceEntry* entry = reg.find(name.substr(0, colon));
+    if (entry != nullptr && !entry->inline_param.empty()) {
+      ResolvedSource resolved{entry, params};
+      resolved.params.set(entry->inline_param,
+                          std::string(name.substr(colon + 1)));
+      return resolved;
+    }
+  }
+  return {};
 }
 
 }  // namespace
@@ -209,26 +238,26 @@ GraphRegistry& GraphRegistry::instance() {
 
 GraphInstance GraphRegistry::create(std::string_view name,
                                     const ParamMap& params) const {
-  const GraphSourceEntry* entry = find(name);
+  const auto [entry, resolved] = resolve_source(*this, name, params);
   if (entry == nullptr) {
     throw std::invalid_argument("unknown graph source: " + std::string(name));
   }
-  return entry->make(params);
+  return entry->make(resolved);
 }
 
 GraphInstance GraphRegistry::create_cached(std::string_view name,
                                            const ParamMap& params,
                                            const std::string& cache_dir) const {
-  const GraphSourceEntry* entry = find(name);
+  const auto [entry, resolved] = resolve_source(*this, name, params);
   if (entry == nullptr) {
     throw std::invalid_argument("unknown graph source: " + std::string(name));
   }
   // Caching an already-binary file would only copy it.
-  if (entry->name == "binary" || cache_dir.empty()) return entry->make(params);
+  if (entry->name == "binary" || cache_dir.empty()) return entry->make(resolved);
 
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(graph_cache_key(*entry, params)));
+                static_cast<unsigned long long>(graph_cache_key(*entry, resolved)));
   const std::filesystem::path path =
       std::filesystem::path(cache_dir) / (entry->name + "-" + hex + ".smqbin");
 
@@ -241,7 +270,7 @@ GraphInstance GraphRegistry::create_cached(std::string_view name,
     }
   }
 
-  GraphInstance inst = entry->make(params);
+  GraphInstance inst = entry->make(resolved);
   std::error_code ec;
   std::filesystem::create_directories(cache_dir, ec);
   if (!ec) save_binary_graph(path.string(), *inst.graph);

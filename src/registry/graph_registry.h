@@ -30,14 +30,20 @@ struct GraphSourceEntry {
   std::string description;  // one-liner for --list
   std::vector<Tunable> tunables;
   std::function<GraphInstance(const ParamMap&)> make;
+  // File sources accept the "name:ARG" shorthand (e.g. --graph
+  // dimacs:data/dimacs/sample.gr): the text after the first ':' binds to
+  // this tunable. Empty = no shorthand.
+  std::string inline_param = {};
 };
 
 class GraphRegistry : public NamedRegistry<GraphSourceEntry> {
  public:
   static GraphRegistry& instance();
 
-  /// Build the graph named by `name`. Throws std::invalid_argument on an
-  /// unknown source; file sources throw std::runtime_error on bad input.
+  /// Build the graph named by `name`. File sources also accept the
+  /// inline form "name:PATH" ("dimacs:usa.gr" == "dimacs --file
+  /// usa.gr"). Throws std::invalid_argument on an unknown source; file
+  /// sources throw std::runtime_error on bad input.
   GraphInstance create(std::string_view name, const ParamMap& params = {}) const;
 
   /// Like create(), but consult/populate a binary CSR cache under

@@ -19,7 +19,11 @@ namespace {
 
 /// Construct the concrete scheduler, run the named algorithm through the
 /// shared templated runners, and keep the simulated-NUMA topology alive
-/// for the duration (the config holds a raw pointer into it).
+/// for the duration (the config holds a raw pointer into it). The
+/// executor drives the scheduler through its native per-thread Handle
+/// here — the same handle API the virtual path reaches through
+/// AnyScheduler::HandleView — so static rows measure pure inlined
+/// handles, not a different protocol.
 template <typename S, typename ConfigFn>
 std::optional<AlgoResult> run_concrete(ConfigFn make_config,
                                        std::string_view algorithm,

@@ -1,26 +1,32 @@
 // Parallel priority-task executor — the Galois-substitute runtime.
 //
-// Runs a fixed pool of threads against one PriorityScheduler instance.
-// Each thread loops: pop a task, run the user functor (which may push
-// follow-up tasks), repeat. Termination uses a global pending-task
-// counter: push increments, completing a popped task decrements; a thread
-// may only exit when its pop failed *after flushing its local buffers*
-// and the counter reads zero. This is exact for the monotone workloads in
-// the paper (tasks only create tasks while being executed).
+// Runs a fixed pool of threads against one scheduler instance through the
+// per-thread handle API (scheduler_traits.h): each worker acquires
+// `handle_adapted(sched, tid)` once, so the thread's scheduler state
+// (local queue, RNG, stickiness slots, buffers) is resolved a single time
+// per run instead of re-indexed on every push/pop. Each thread then
+// loops: pop work, run the user functor (which may push follow-up tasks),
+// repeat. Termination uses a global pending-task counter: push
+// increments, completing a popped task decrements; a thread may only exit
+// when its pop failed *after flushing its buffers through the handle* and
+// the counter reads zero. This is exact for the monotone workloads in the
+// paper (tasks only create tasks while being executed).
 //
-// Two worker loops share that protocol:
-//  * per-task (batch_size == 1): the classic pop/run/decrement loop;
+// One worker loop serves both execution styles, templated on kBatched:
+//  * per-task (batch_size == 1): the classic pop/run/decrement loop; the
+//    push-buffer machinery compiles away entirely.
 //  * batched (batch_size > 1): pops up to batch_size tasks with one
-//    scheduler call, buffers pushes thread-locally and publishes them
-//    with one scheduler call + one counter update per flush. This
-//    amortizes the dispatch boundary (e.g. AnyScheduler's virtual call)
-//    the same way the paper's Optimization 1 amortizes queue locks.
+//    handle call, buffers pushes thread-locally and publishes them with
+//    one handle call + one counter update per flush. This amortizes the
+//    dispatch boundary (e.g. AnyScheduler's virtual HandleView) the same
+//    way the paper's Optimization 1 amortizes queue locks.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <span>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "sched/scheduler_traits.h"
@@ -34,52 +40,55 @@ namespace smq {
 
 /// Knobs of run_parallel that are independent of the scheduler.
 struct ExecutorOptions {
-  /// Tasks popped per scheduler call and buffered per push flush.
+  /// Tasks popped per handle call and buffered per push flush.
   /// 1 selects the classic per-task loop.
   std::size_t batch_size = 1;
 };
 
-/// Per-thread handle given to the task functor; the only way user code
-/// interacts with the scheduler during a run.
-template <PriorityScheduler S>
+/// Per-thread view given to the task functor; the only way user code
+/// interacts with the scheduler during a run. Pushes go straight through
+/// the thread's handle, one pending-counter RMW per task.
+template <SchedulerHandle H>
 class WorkContext {
  public:
-  WorkContext(S& sched, unsigned tid, std::atomic<std::int64_t>& pending,
+  WorkContext(H& handle, std::atomic<std::int64_t>& pending,
               ThreadStats& stats) noexcept
-      : sched_(sched), tid_(tid), pending_(pending), stats_(stats) {}
+      : handle_(handle), pending_(pending), stats_(stats) {}
 
   void push(Task t) {
     pending_.fetch_add(1, std::memory_order_relaxed);
-    sched_.push(tid_, t);
+    handle_.push(t);
     ++stats_.pushes;
   }
+
+  /// Nothing buffered; exists so the worker loop's termination protocol
+  /// is identical for both context flavours.
+  void flush() noexcept {}
 
   /// Mark the task being executed as wasted (stale) work.
   void mark_wasted() noexcept { ++stats_.wasted; }
 
-  unsigned thread_id() const noexcept { return tid_; }
+  unsigned thread_id() const noexcept { return handle_.thread_id(); }
 
  private:
-  S& sched_;
-  unsigned tid_;
+  H& handle_;
   std::atomic<std::int64_t>& pending_;
   ThreadStats& stats_;
 };
 
 /// Batched counterpart of WorkContext: pushes accumulate in a per-thread
-/// buffer and reach the scheduler via push_batch with a single relaxed
-/// fetch_add(n) on the pending counter per flush (instead of one RMW per
-/// task). Safe for termination because the counter is bumped *before* the
-/// tasks become visible, and the executed tasks that created them are not
-/// retired until after flush() (see batched_worker_loop).
-template <PriorityScheduler S>
+/// buffer and reach the scheduler via one handle push_batch with a single
+/// relaxed fetch_add(n) on the pending counter per flush (instead of one
+/// RMW per task). Safe for termination because the counter is bumped
+/// *before* the tasks become visible, and the executed tasks that created
+/// them are not retired until after flush() (see worker_loop).
+template <SchedulerHandle H>
 class BatchWorkContext {
  public:
-  BatchWorkContext(S& sched, unsigned tid, std::atomic<std::int64_t>& pending,
+  BatchWorkContext(H& handle, std::atomic<std::int64_t>& pending,
                    ThreadStats& stats, std::vector<Task>& buffer,
                    std::size_t capacity) noexcept
-      : sched_(sched),
-        tid_(tid),
+      : handle_(handle),
         pending_(pending),
         stats_(stats),
         buffer_(buffer),
@@ -101,17 +110,16 @@ class BatchWorkContext {
     if (buffer_.empty()) return;
     pending_.fetch_add(static_cast<std::int64_t>(buffer_.size()),
                        std::memory_order_relaxed);
-    push_batch_adapted(sched_, tid_, std::span<const Task>(buffer_));
+    handle_.push_batch(std::span<const Task>(buffer_));
     buffer_.clear();
   }
 
   void mark_wasted() noexcept { ++stats_.wasted; }
 
-  unsigned thread_id() const noexcept { return tid_; }
+  unsigned thread_id() const noexcept { return handle_.thread_id(); }
 
  private:
-  S& sched_;
-  unsigned tid_;
+  H& handle_;
   std::atomic<std::int64_t>& pending_;
   ThreadStats& stats_;
   std::vector<Task>& buffer_;
@@ -120,24 +128,74 @@ class BatchWorkContext {
 
 namespace detail {
 
-template <PriorityScheduler S, typename Fn>
-void worker_loop(S& sched, unsigned tid, std::atomic<std::int64_t>& pending,
-                 ThreadStats& stats, Fn& fn) {
-  WorkContext<S> ctx(sched, tid, pending, stats);
+/// Per-thread scratch of the batched loop, cache-padded as an array slot
+/// so neighbouring threads' buffer headers never false-share.
+struct BatchBuffers {
+  std::vector<Task> pop;   // tasks taken from the scheduler this round
+  std::vector<Task> push;  // children awaiting the next flush
+};
+
+/// The worker loop, shared by both execution styles. kBatched only
+/// changes how work enters and leaves the thread (handle batch ops +
+/// push buffering vs. direct calls); the termination protocol is written
+/// once:
+///
+/// Children first, then retire the executed work. The executed tasks'
+/// pending counts cover their still-buffered children, so the counter
+/// cannot dip to zero while work sits in this thread's buffer. fetch_sub
+/// and fetch_add hit the same atomic, so the counter's modification
+/// order alone rules out a phantom zero; the acq_rel on the sub is what
+/// hands a release edge to the thread that finally observes zero with
+/// its acquire load. On an empty pop, everything this thread still
+/// buffers (context push buffer, scheduler-internal insert buffers) must
+/// be published through the handle before the counter read is allowed to
+/// conclude the system has drained.
+template <bool kBatched, SchedulerHandle H, typename Fn>
+void worker_loop(H& handle, std::atomic<std::int64_t>& pending,
+                 ThreadStats& stats, Fn& fn, std::size_t batch_size,
+                 BatchBuffers* bufs) {
+  using Ctx =
+      std::conditional_t<kBatched, BatchWorkContext<H>, WorkContext<H>>;
+  Ctx ctx = [&] {
+    if constexpr (kBatched) {
+      bufs->pop.reserve(batch_size);
+      return Ctx(handle, pending, stats, bufs->push, batch_size);
+    } else {
+      (void)bufs;
+      (void)batch_size;
+      return Ctx(handle, pending, stats);
+    }
+  }();
   Backoff backoff;
   while (true) {
-    std::optional<Task> task = sched.try_pop(tid);
-    if (task) {
-      backoff.reset();
-      ++stats.pops;
-      fn(*task, ctx);
-      pending.fetch_sub(1, std::memory_order_acq_rel);
+    std::size_t taken = 0;
+    if constexpr (kBatched) {
+      bufs->pop.clear();
+      taken = handle.try_pop_batch(bufs->pop, batch_size);
+      if (taken > 0) {
+        backoff.reset();
+        stats.pops += taken;
+        for (std::size_t i = 0; i < bufs->pop.size(); ++i) fn(bufs->pop[i], ctx);
+      }
+    } else {
+      if (std::optional<Task> task = handle.try_pop()) {
+        taken = 1;
+        backoff.reset();
+        ++stats.pops;
+        fn(*task, ctx);
+      }
+    }
+    if (taken > 0) {
+      ctx.flush();  // children visible before their parents retire
+      pending.fetch_sub(static_cast<std::int64_t>(taken),
+                        std::memory_order_acq_rel);
       continue;
     }
     ++stats.empty_pops;
-    // Buffered inserts (task-batching variants) must become visible before
-    // we can conclude the system has drained.
-    flush_if_supported(sched, tid);
+    // Nothing popped: publish our buffered children and the scheduler's
+    // buffered inserts before trusting the counter.
+    ctx.flush();
+    handle.flush();
     if (pending.load(std::memory_order_acquire) == 0) return;
     backoff.pause();
     // Oversubscribed pools (threads > cores) must hand the core to
@@ -146,57 +204,12 @@ void worker_loop(S& sched, unsigned tid, std::atomic<std::int64_t>& pending,
   }
 }
 
-/// Per-thread scratch of the batched loop, cache-padded as an array slot
-/// so neighbouring threads' buffer headers never false-share.
-struct BatchBuffers {
-  std::vector<Task> pop;   // tasks taken from the scheduler this round
-  std::vector<Task> push;  // children awaiting the next flush
-};
-
-template <PriorityScheduler S, typename Fn>
-void batched_worker_loop(S& sched, unsigned tid,
-                         std::atomic<std::int64_t>& pending,
-                         ThreadStats& stats, Fn& fn, std::size_t batch_size,
-                         BatchBuffers& bufs) {
-  BatchWorkContext<S> ctx(sched, tid, pending, stats, bufs.push, batch_size);
-  bufs.pop.reserve(batch_size);
-  Backoff backoff;
-  while (true) {
-    bufs.pop.clear();
-    const std::size_t taken =
-        try_pop_batch_adapted(sched, tid, bufs.pop, batch_size);
-    if (taken > 0) {
-      backoff.reset();
-      stats.pops += taken;
-      for (std::size_t i = 0; i < bufs.pop.size(); ++i) fn(bufs.pop[i], ctx);
-      // Children first, then retire the executed batch. The executed
-      // tasks' pending counts cover their still-buffered children, so the
-      // counter cannot dip to zero while work sits in this thread's
-      // buffer. fetch_sub and fetch_add hit the same atomic, so the
-      // counter's modification order alone rules out a phantom zero; the
-      // acq_rel on the sub is what hands a release edge to the thread
-      // that finally observes zero with its acquire load (same contract
-      // as the per-task loop).
-      ctx.flush();
-      pending.fetch_sub(static_cast<std::int64_t>(taken),
-                        std::memory_order_acq_rel);
-      continue;
-    }
-    ++stats.empty_pops;
-    // Nothing popped: publish our own buffered children and the
-    // scheduler's buffered inserts before trusting the counter.
-    ctx.flush();
-    flush_if_supported(sched, tid);
-    if (pending.load(std::memory_order_acquire) == 0) return;
-    backoff.pause();
-    std::this_thread::yield();
-  }
-}
-
 }  // namespace detail
 
-/// Seeds `initial` tasks round-robin through per-thread pushes, then runs
-/// `fn(task, ctx)` on `num_threads` threads until the task graph drains.
+/// Seeds `initial` tasks round-robin through per-thread handles, then
+/// runs `fn(task, ctx)` on `num_threads` threads until the task graph
+/// drains. Works with any PriorityScheduler: schedulers with native
+/// handles get them, the rest run through the TidHandle shim.
 template <PriorityScheduler S, typename Fn>
 RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
                        unsigned num_threads, const ExecutorOptions& opts = {}) {
@@ -204,25 +217,34 @@ RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
   std::atomic<std::int64_t> pending{0};
   const std::size_t batch_size = opts.batch_size == 0 ? 1 : opts.batch_size;
 
-  // Seed from "thread 0"'s perspective; schedulers route by tid.
-  for (std::size_t i = 0; i < initial.size(); ++i) {
-    const unsigned tid = static_cast<unsigned>(i % num_threads);
-    pending.fetch_add(1, std::memory_order_relaxed);
-    sched.push(tid, initial[i]);
-    ++stats.of(tid).pushes;
-  }
-  for (unsigned tid = 0; tid < num_threads; ++tid) {
-    flush_if_supported(sched, tid);
+  // Seed from "thread 0"'s perspective; one handle acquisition per tid
+  // covers the whole seeding pass (for AnyScheduler this is also one
+  // erased-handle allocation per tid instead of one virtual per push).
+  {
+    std::vector<HandleOf<S>> handles;
+    handles.reserve(num_threads);
+    for (unsigned tid = 0; tid < num_threads; ++tid) {
+      handles.push_back(handle_adapted(sched, tid));
+    }
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      const unsigned tid = static_cast<unsigned>(i % num_threads);
+      pending.fetch_add(1, std::memory_order_relaxed);
+      handles[tid].push(initial[i]);
+      ++stats.of(tid).pushes;
+    }
+    for (auto& handle : handles) handle.flush();
   }
 
   std::vector<Padded<detail::BatchBuffers>> buffers(
       batch_size > 1 ? num_threads : 0);
   auto work = [&](unsigned tid) {
+    auto handle = handle_adapted(sched, tid);
     if (batch_size > 1) {
-      detail::batched_worker_loop(sched, tid, pending, stats.of(tid), fn,
-                                  batch_size, buffers[tid].value);
+      detail::worker_loop<true>(handle, pending, stats.of(tid), fn, batch_size,
+                                &buffers[tid].value);
     } else {
-      detail::worker_loop(sched, tid, pending, stats.of(tid), fn);
+      detail::worker_loop<false>(handle, pending, stats.of(tid), fn, batch_size,
+                                 nullptr);
     }
   };
 
@@ -242,7 +264,7 @@ RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
   // Scheduler-private counters (steal and NUMA-remote tallies) merge
   // into the per-thread slots only now, after the workers have joined.
   for (unsigned tid = 0; tid < num_threads; ++tid) {
-    collect_stats_if_supported(sched, tid, stats.of(tid));
+    handle_adapted(sched, tid).collect_stats(stats.of(tid));
   }
   result.stats = stats.total();
   return result;

@@ -1,8 +1,28 @@
-// The scheduler concept every priority scheduler in this library models.
+// The scheduler concept family every priority scheduler in this library
+// models, and the per-thread *handle* API the executor runs on.
 //
-// Mirrors Galois' WorkList interface: per-thread push/pop with an
-// optional flush for schedulers that buffer inserts locally (the
-// executor must flush before trusting an empty pop for termination).
+// Two layers:
+//
+//  * The classic tid-indexed surface (PriorityScheduler and friends),
+//    mirroring Galois' WorkList interface: `push(tid, t)`, `try_pop(tid)`,
+//    with optional flush/batch/stat extensions detected per scheduler.
+//    Every call re-derives the thread's state (local queue, RNG,
+//    stickiness slot, ...) from the tid.
+//  * The handle surface (SchedulerHandle / HandleScheduler): a scheduler
+//    hands out one lightweight `S::Handle` per thread via `s.handle(tid)`.
+//    The handle resolves the thread's slots *once* — it owns direct
+//    pointers into them — and exposes the uniform hot-path interface
+//    `push / try_pop / push_batch / try_pop_batch / flush / collect_stats`
+//    with no tid argument. The executor acquires one handle per thread
+//    per run, so per-op work drops to the operation itself.
+//
+// Schedulers that only implement the tid surface keep working: the
+// `handle_adapted()` shim wraps them in a TidHandle that forwards each
+// operation through the legacy calls (using the same *_adapted helpers
+// AnyScheduler's batch virtuals use), so the executor needs exactly one
+// code path. A handle's flush() must publish everything its scheduler's
+// tid-level flush would — the executor trusts an empty pop for
+// termination only after flushing through the handle.
 #pragma once
 
 #include <concepts>
@@ -101,5 +121,101 @@ std::size_t try_pop_batch_adapted(S& sched, unsigned tid,
     return taken;
   }
 }
+
+// ---- the per-thread handle surface ----------------------------------------
+
+/// What a per-thread scheduler handle must offer: the complete hot-path
+/// vocabulary with the thread identity baked in at acquisition. flush()
+/// and collect_stats() are mandatory (no-ops where the scheduler buffers
+/// nothing / counts nothing) so generic code never probes capabilities
+/// mid-loop.
+template <typename H>
+concept SchedulerHandle =
+    std::move_constructible<H> &&
+    requires(H h, const H ch, Task t, std::span<const Task> tasks,
+             std::vector<Task>& out, std::size_t max, ThreadStats& st) {
+      { h.push(t) } -> std::same_as<void>;
+      { h.try_pop() } -> std::same_as<std::optional<Task>>;
+      { h.push_batch(tasks) } -> std::same_as<void>;
+      { h.try_pop_batch(out, max) } -> std::convertible_to<std::size_t>;
+      { h.flush() } -> std::same_as<void>;
+      { ch.collect_stats(st) } -> std::same_as<void>;
+      { ch.thread_id() } -> std::convertible_to<unsigned>;
+    };
+
+/// Shared try_pop_batch fallback for handles without a native bulk
+/// extract: pop one at a time until `max` or the first empty pop, same
+/// contract as try_pop_batch_adapted. Unconstrained on purpose — it is
+/// called from inside Handle class bodies whose type is still
+/// incomplete at that point.
+template <typename H>
+std::size_t handle_pop_loop(H& handle, std::vector<Task>& out,
+                            std::size_t max) {
+  std::size_t taken = 0;
+  while (taken < max) {
+    std::optional<Task> task = handle.try_pop();
+    if (!task) break;
+    out.push_back(*task);
+    ++taken;
+  }
+  return taken;
+}
+
+/// A scheduler with native handles: `s.handle(tid)` resolves thread
+/// `tid`'s slots once and returns the lightweight view. Handles are
+/// views, not sessions — acquiring one is cheap and side-effect free,
+/// any number may exist for the same tid (though, like the tid calls
+/// they replace, only one thread may *use* a given tid's state at a
+/// time), and they stay valid for the scheduler's lifetime.
+template <typename S>
+concept HandleScheduler =
+    PriorityScheduler<S> && requires(S s, unsigned tid) {
+      typename S::Handle;
+      { s.handle(tid) } -> std::same_as<typename S::Handle>;
+    } && SchedulerHandle<typename S::Handle>;
+
+/// Handle shim for tid-indexed schedulers: forwards every operation
+/// through the legacy calls, probing the optional concepts exactly like
+/// the pre-handle executor did. This is what keeps a minimal
+/// push/try_pop/num_threads scheduler usable during (and after) the
+/// handle migration.
+template <PriorityScheduler S>
+class TidHandle {
+ public:
+  TidHandle(S& sched, unsigned tid) noexcept : sched_(&sched), tid_(tid) {}
+
+  void push(Task t) { sched_->push(tid_, t); }
+  std::optional<Task> try_pop() { return sched_->try_pop(tid_); }
+  void push_batch(std::span<const Task> tasks) {
+    push_batch_adapted(*sched_, tid_, tasks);
+  }
+  std::size_t try_pop_batch(std::vector<Task>& out, std::size_t max) {
+    return try_pop_batch_adapted(*sched_, tid_, out, max);
+  }
+  void flush() { flush_if_supported(*sched_, tid_); }
+  void collect_stats(ThreadStats& st) const {
+    collect_stats_if_supported(*sched_, tid_, st);
+  }
+  unsigned thread_id() const noexcept { return tid_; }
+
+ private:
+  S* sched_;
+  unsigned tid_;
+};
+
+/// The one way generic code acquires a handle: the scheduler's native
+/// handle when it has one, the TidHandle shim otherwise.
+template <PriorityScheduler S>
+auto handle_adapted(S& sched, unsigned tid) {
+  if constexpr (HandleScheduler<S>) {
+    return sched.handle(tid);
+  } else {
+    return TidHandle<S>(sched, tid);
+  }
+}
+
+/// The handle type handle_adapted() yields for S.
+template <PriorityScheduler S>
+using HandleOf = decltype(handle_adapted(std::declval<S&>(), 0u));
 
 }  // namespace smq

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 #include "algorithms/sssp.h"
@@ -159,6 +161,41 @@ TEST(GraphRegistry, FileSourcesRequireAFile) {
                std::invalid_argument);
   EXPECT_THROW(GraphRegistry::instance().create("no-such-graph", {}),
                std::invalid_argument);
+}
+
+TEST(GraphRegistry, DimacsInlinePathShorthand) {
+  // --graph dimacs:PATH must parse the .gr text the same as an explicit
+  // --file PATH.
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "smq_registry_sample.gr";
+  {
+    std::ofstream out(path);
+    out << "c tiny triangle\n"
+        << "p sp 3 3\n"
+        << "a 1 2 5\n"
+        << "a 2 3 7\n"
+        << "a 1 3 20\n";
+  }
+  const GraphInstance inline_form =
+      GraphRegistry::instance().create("dimacs:" + path.string());
+  ASSERT_NE(inline_form.graph, nullptr);
+  EXPECT_EQ(inline_form.graph->num_vertices(), 3u);
+  EXPECT_EQ(inline_form.graph->num_edges(), 3u);
+
+  ParamMap explicit_params;
+  explicit_params.set("file", path.string());
+  const GraphInstance explicit_form =
+      GraphRegistry::instance().create("dimacs", explicit_params);
+  EXPECT_EQ(inline_form.graph->num_edges(), explicit_form.graph->num_edges());
+  EXPECT_EQ(inline_form.name, explicit_form.name);
+
+  // Only file sources take the shorthand; a colon on a generator or an
+  // unknown prefix stays an error.
+  EXPECT_THROW(GraphRegistry::instance().create("rand:whatever", {}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphRegistry::instance().create("nope:file.gr", {}),
+               std::invalid_argument);
+  std::filesystem::remove(path);
 }
 
 // ---- algorithm registry ---------------------------------------------------
