@@ -1,0 +1,34 @@
+// The erased service boundary: build a QueryService over any registered
+// scheduler (presets included) by name, the way smq_run and the benches
+// resolve every other axis. One SchedulerService<AnyScheduler>
+// instantiation serves the whole registry; static instantiation of a
+// concrete SchedulerService<S> remains available to code that names S
+// (tests do).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "registry/graph_registry.h"
+#include "registry/params.h"
+#include "service/query.h"
+
+namespace smq {
+
+/// Build a running service for `sched_name` x `threads` over `graph`.
+/// The worker count is clamped to the scheduler's thread capacity
+/// (effective_threads), the heuristic scale comes from the graph
+/// instance, and `params` reaches the scheduler factory untouched —
+/// presets resolve exactly as in a sweep. Throws std::invalid_argument
+/// on an unknown scheduler.
+std::unique_ptr<QueryService> make_service(std::string_view sched_name,
+                                           unsigned threads,
+                                           const ParamMap& params,
+                                           const GraphInstance& graph,
+                                           ServiceOptions opts = {});
+
+/// The worker count make_service will actually run with.
+unsigned service_effective_threads(std::string_view sched_name,
+                                   unsigned requested);
+
+}  // namespace smq

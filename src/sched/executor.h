@@ -126,14 +126,17 @@ class BatchWorkContext {
   std::size_t capacity_;
 };
 
-namespace detail {
-
-/// Per-thread scratch of the batched loop, cache-padded as an array slot
-/// so neighbouring threads' buffer headers never false-share.
-struct BatchBuffers {
+/// Per-thread scratch of the batched loop (pop batch + push buffer),
+/// cache-padded as an array slot so neighbouring threads' buffer headers
+/// never false-share. Shared with the service worker loop
+/// (service/scheduler_service.h), which runs the same protocol on a
+/// persistent pool.
+struct WorkerBuffers {
   std::vector<Task> pop;   // tasks taken from the scheduler this round
   std::vector<Task> push;  // children awaiting the next flush
 };
+
+namespace detail {
 
 /// The worker loop, shared by both execution styles. kBatched only
 /// changes how work enters and leaves the thread (handle batch ops +
@@ -153,7 +156,7 @@ struct BatchBuffers {
 template <bool kBatched, SchedulerHandle H, typename Fn>
 void worker_loop(H& handle, std::atomic<std::int64_t>& pending,
                  ThreadStats& stats, Fn& fn, std::size_t batch_size,
-                 BatchBuffers* bufs) {
+                 WorkerBuffers* bufs) {
   using Ctx =
       std::conditional_t<kBatched, BatchWorkContext<H>, WorkContext<H>>;
   Ctx ctx = [&] {
@@ -235,7 +238,7 @@ RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
     for (auto& handle : handles) handle.flush();
   }
 
-  std::vector<Padded<detail::BatchBuffers>> buffers(
+  std::vector<Padded<WorkerBuffers>> buffers(
       batch_size > 1 ? num_threads : 0);
   auto work = [&](unsigned tid) {
     auto handle = handle_adapted(sched, tid);

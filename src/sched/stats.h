@@ -6,7 +6,13 @@
 // cache-line padded; aggregation happens once, after the run.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/padding.h"
@@ -67,6 +73,176 @@ class StatsRegistry {
 
  private:
   std::vector<Padded<ThreadStats>> slots_;
+};
+
+/// Nearest-rank percentile of an ascending-sorted sample; exact. p is
+/// clamped to [0, 1]; an empty sample yields 0.
+inline double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  return sorted[rank == 0 ? 0 : std::min(rank, sorted.size()) - 1];
+}
+
+/// Lock-free latency histogram: concurrent record() from any number of
+/// threads, percentile queries afterwards.
+///
+/// Values are stored in nanoseconds. Two regimes, switched automatically
+/// at query time:
+///  * small samples (up to kExactCapacity recordings overall): the raw
+///    values are kept verbatim, so quantiles are exact nearest-rank —
+///    a service that served 30 queries must not report bucketized p99.
+///  * large samples: log-bucketed counts, 16 sub-buckets per power of
+///    two (HDR-histogram style), bounding the relative quantile error at
+///    1/16 = 6.25% while covering the full uint64 nanosecond range in
+///    ~1000 fixed buckets. No allocation, no locks on the record path.
+///
+/// record() is wait-free (a handful of relaxed atomics). quantile() /
+/// merge() / min/max are *not* synchronized against concurrent record();
+/// call them after the recording threads have quiesced (joined workers,
+/// drained service), which is the only place the harness reads them.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kExactCapacity = 256;
+  static constexpr std::size_t kSubBuckets = 16;  // per power of two
+  // Values < kSubBuckets index directly; each higher bit position gets
+  // kSubBuckets sub-buckets: 16 + 60*16 buckets over the 64-bit range.
+  static constexpr std::size_t kNumBuckets = kSubBuckets + (64 - 4) * kSubBuckets;
+
+  void record_seconds(double seconds) {
+    record_ns(seconds <= 0
+                  ? 0
+                  : static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
+  }
+
+  void record_ns(std::uint64_t ns) {
+    buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t slot = exact_claimed_.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kExactCapacity) {
+      exact_[slot].store(ns, std::memory_order_relaxed);
+    }
+    total_.fetch_add(1, std::memory_order_relaxed);
+    atomic_min(min_ns_, ns);
+    atomic_max(max_ns_, ns);
+  }
+
+  std::uint64_t count() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  double min_seconds() const noexcept {
+    return count() == 0 ? 0.0
+                        : static_cast<double>(min_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double max_seconds() const noexcept {
+    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+  /// The p-quantile in seconds (p in [0,1]): exact nearest-rank while
+  /// every recorded value still fits the raw-sample array, log-bucket
+  /// interpolation beyond that. Requires quiescence.
+  double quantile(double p) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    if (n <= kExactCapacity && exact_claimed_.load(std::memory_order_relaxed) == n) {
+      std::vector<double> sorted;
+      sorted.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        sorted.push_back(static_cast<double>(exact_[i].load(std::memory_order_relaxed)));
+      }
+      std::sort(sorted.begin(), sorted.end());
+      return percentile_sorted(sorted, p) * 1e-9;
+    }
+    // Nearest-rank walk over the buckets, linear interpolation inside
+    // the landing bucket.
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      const std::uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+      if (in_bucket == 0) continue;
+      if (cumulative + in_bucket >= rank) {
+        const double lo = static_cast<double>(bucket_lower(b));
+        const double hi = static_cast<double>(bucket_upper(b));
+        const double frac = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
+        const double ns = std::clamp(
+            lo + frac * (hi - lo),
+            static_cast<double>(min_ns_.load(std::memory_order_relaxed)),
+            static_cast<double>(max_ns_.load(std::memory_order_relaxed)));
+        return ns * 1e-9;
+      }
+      cumulative += in_bucket;
+    }
+    return max_seconds();  // unreachable when counters are consistent
+  }
+
+  /// Fold `other` into this histogram (per-thread histograms merged
+  /// after a run). Raw samples carry over while capacity lasts, so
+  /// small merged samples stay exact. Requires quiescence on both.
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      const std::uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[b].fetch_add(c, std::memory_order_relaxed);
+    }
+    const std::uint64_t theirs =
+        std::min<std::uint64_t>(other.exact_claimed_.load(std::memory_order_relaxed),
+                                kExactCapacity);
+    for (std::uint64_t i = 0; i < theirs; ++i) {
+      const std::uint64_t slot = exact_claimed_.fetch_add(1, std::memory_order_relaxed);
+      if (slot < kExactCapacity) {
+        exact_[slot].store(other.exact_[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+      }
+    }
+    total_.fetch_add(other.count(), std::memory_order_relaxed);
+    if (other.count() != 0) {
+      atomic_min(min_ns_, other.min_ns_.load(std::memory_order_relaxed));
+      atomic_max(max_ns_, other.max_ns_.load(std::memory_order_relaxed));
+    }
+  }
+
+  /// Bucket of a nanosecond value; exposed for the unit tests.
+  static std::size_t bucket_index(std::uint64_t ns) noexcept {
+    if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+    const int top = std::bit_width(ns) - 1;  // >= 4
+    return static_cast<std::size_t>((top - 3) * static_cast<int>(kSubBuckets)) +
+           static_cast<std::size_t>((ns >> (top - 4)) & (kSubBuckets - 1));
+  }
+
+ private:
+  static std::uint64_t bucket_lower(std::size_t b) noexcept {
+    if (b < kSubBuckets) return b;
+    const std::size_t block = b / kSubBuckets;  // >= 1
+    const std::uint64_t sub = b % kSubBuckets;
+    return (kSubBuckets + sub) << (block - 1);
+  }
+  static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b + 1 < kNumBuckets ? bucket_lower(b + 1)
+                               : bucket_lower(b) + (bucket_lower(b) >> 4);
+  }
+
+  static void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kExactCapacity> exact_{};
+  std::atomic<std::uint64_t> exact_claimed_{0};  // slots handed out (may pass capacity)
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> min_ns_{~0ull};
+  std::atomic<std::uint64_t> max_ns_{0};
 };
 
 /// Result of one parallel run: wall time plus aggregated counters.

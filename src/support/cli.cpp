@@ -90,6 +90,62 @@ std::vector<unsigned> parse_thread_list(std::string_view spec) {
   return counts;
 }
 
+std::string oversubscription_warning(const std::vector<unsigned>& threads,
+                                     unsigned hardware_threads) {
+  if (hardware_threads == 0) return {};
+  unsigned worst = 0;
+  for (const unsigned n : threads) worst = std::max(worst, n);
+  if (worst <= hardware_threads) return {};
+  std::ostringstream ss;
+  ss << "warning: --threads " << worst << " exceeds the "
+     << hardware_threads << " hardware thread"
+     << (hardware_threads == 1 ? "" : "s")
+     << " of this machine; timings will measure oversubscription, not "
+        "scheduler contention";
+  return ss.str();
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // One-row Levenshtein; names are short, so O(|a|*|b|) is nothing.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute = diagonal + (a[i - 1] != b[j - 1]);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string nearest_name(std::string_view unknown,
+                         const std::vector<std::string>& known) {
+  std::string best;
+  std::size_t best_distance = ~std::size_t{0};
+  for (const std::string& candidate : known) {
+    const std::size_t d = edit_distance(unknown, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  // A suggestion further than a plausible typo misleads more than it
+  // helps: allow 2 edits, or a third of the name for long names.
+  const std::size_t budget = std::max<std::size_t>(2, unknown.size() / 3);
+  return best_distance <= budget ? best : std::string{};
+}
+
+std::string unknown_flag_message(std::string_view flag,
+                                 const std::vector<std::string>& known) {
+  std::string msg = "unknown option --" + std::string(flag);
+  const std::string suggestion = nearest_name(flag, known);
+  if (!suggestion.empty()) msg += " (did you mean --" + suggestion + "?)";
+  return msg;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

@@ -44,8 +44,30 @@ std::vector<std::string> split_list(std::string_view text, char sep);
 
 /// Parse a "--threads 1,4,8" sweep spec into thread counts. Throws
 /// std::invalid_argument on an empty list or a non-positive /
-/// non-numeric element.
+/// non-numeric element ("--threads 0" is rejected here).
 std::vector<unsigned> parse_thread_list(std::string_view spec);
+
+/// Non-empty warning when any requested count oversubscribes the
+/// machine (`hardware_threads` from std::thread::hardware_concurrency(),
+/// passed in so the policy is unit-testable; 0 = unknown, never warns).
+/// Oversubscription is legal — spin-heavy schedulers just measure
+/// timeslice luck instead of contention — so this warns, not rejects.
+std::string oversubscription_warning(const std::vector<unsigned>& threads,
+                                     unsigned hardware_threads);
+
+/// Levenshtein distance between two names (insert/delete/substitute,
+/// unit costs); the "did you mean" metric for unknown CLI flags.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The closest entry of `known` to `unknown` within a sane typo budget
+/// (distance <= 2, or <= len/3 for long names); "" when nothing close.
+std::string nearest_name(std::string_view unknown,
+                         const std::vector<std::string>& known);
+
+/// "unknown option --X (did you mean --Y?)" — the suggestion clause is
+/// dropped when no known name is near.
+std::string unknown_flag_message(std::string_view flag,
+                                 const std::vector<std::string>& known);
 
 /// Fixed-width ASCII table, paper-style: header row, then data rows.
 class TablePrinter {

@@ -1,0 +1,353 @@
+// SchedulerService: lifecycle, versioned labels, and correctness of
+// concurrent query streams against the sequential A* oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "algorithms/astar.h"
+#include "graph/generators.h"
+#include "registry/graph_registry.h"
+#include "registry/params.h"
+#include "registry/service_factory.h"
+#include "scheduler_fixtures.h"
+#include "service/scheduler_service.h"
+#include "service/service_driver.h"
+#include "service/versioned_labels.h"
+
+namespace smq {
+namespace {
+
+using testing::SmqHeapFactory;
+using ConcreteService = SchedulerService<SmqHeapFactory::Type>;
+
+GraphInstance road_instance(VertexId vertices, std::uint64_t seed = 5) {
+  GraphInstance gi;
+  gi.graph = std::make_shared<Graph>(make_road_like(vertices, {.seed = seed}));
+  gi.name = "road-test";
+  gi.default_target = gi.graph->num_vertices() - 1;
+  return gi;
+}
+
+std::unique_ptr<ConcreteService> make_concrete(
+    const GraphInstance& gi, unsigned workers, ServiceOptions opts = {}) {
+  opts.weight_scale = gi.weight_scale;
+  return std::make_unique<ConcreteService>(
+      gi.graph, workers, opts, workers,
+      SmqConfig{.steal_size = 4, .p_steal = 0.25, .seed = 17});
+}
+
+// ---- VersionedLabels -------------------------------------------------------
+
+TEST(VersionedLabels, FreshSlotsUnreached) {
+  VersionedLabels labels(16);
+  const std::uint64_t e = labels.new_epoch();
+  for (std::size_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(labels.load(v, e), VersionedLabels::kUnreached);
+  }
+}
+
+TEST(VersionedLabels, StoreLoadRelax) {
+  VersionedLabels labels(4);
+  const std::uint64_t e = labels.new_epoch();
+  labels.store(0, 7, e);
+  EXPECT_EQ(labels.load(0, e), 7u);
+  EXPECT_TRUE(labels.relax_min(0, 3, e));
+  EXPECT_EQ(labels.load(0, e), 3u);
+  EXPECT_FALSE(labels.relax_min(0, 3, e));
+  EXPECT_FALSE(labels.relax_min(0, 9, e));
+  EXPECT_TRUE(labels.relax_min(1, 5, e));  // unreached always loses
+}
+
+TEST(VersionedLabels, NewEpochInvalidatesOldWrites) {
+  VersionedLabels labels(4);
+  const std::uint64_t e1 = labels.new_epoch();
+  labels.store(2, 11, e1);
+  const std::uint64_t e2 = labels.new_epoch();
+  EXPECT_EQ(labels.load(2, e2), VersionedLabels::kUnreached);
+  // A write under e1 is also invisible to e2's relax_min floor.
+  EXPECT_TRUE(labels.relax_min(2, 999, e2));
+  EXPECT_EQ(labels.load(2, e2), 999u);
+}
+
+TEST(VersionedLabels, EpochWraparoundScrubs) {
+  VersionedLabels labels(8);
+  std::uint64_t e = 0;
+  // Drive through the full 16-bit epoch space; the wrap scrubs and
+  // restarts at 1 without ever issuing epoch 0.
+  for (std::uint64_t i = 0; i < VersionedLabels::kEpochLimit + 10; ++i) {
+    e = labels.new_epoch();
+    ASSERT_NE(e, 0u);
+    ASSERT_LT(e, VersionedLabels::kEpochLimit);
+  }
+  EXPECT_EQ(labels.load(3, e), VersionedLabels::kUnreached);
+  labels.store(3, 1, e);
+  EXPECT_EQ(labels.load(3, e), 1u);
+}
+
+// ---- lifecycle -------------------------------------------------------------
+
+TEST(SchedulerServiceLifecycle, StartStopIdempotent) {
+  const GraphInstance gi = road_instance(256);
+  auto service = make_concrete(gi, 2);
+  service->start();  // already running: no-op
+  EXPECT_TRUE(service->accepting());
+  EXPECT_EQ(service->num_workers(), 2u);
+  EXPECT_EQ(service->num_lanes(), 4u);  // default 2x workers
+  service->stop();
+  service->stop();  // idempotent
+  EXPECT_FALSE(service->accepting());
+  EXPECT_THROW(service->start(), std::logic_error);
+}
+
+TEST(SchedulerServiceLifecycle, SubmitAfterStopThrows) {
+  const GraphInstance gi = road_instance(256);
+  auto service = make_concrete(gi, 2);
+  service->stop();
+  EXPECT_THROW(service->submit({0, 10}), std::runtime_error);
+  EXPECT_THROW(service->submit({5, 5}), std::runtime_error);
+}
+
+TEST(SchedulerServiceLifecycle, SubmitOutOfRangeThrows) {
+  const GraphInstance gi = road_instance(256);
+  auto service = make_concrete(gi, 2);
+  EXPECT_THROW(service->submit({0, 256}), std::invalid_argument);
+  EXPECT_THROW(service->submit({256, 0}), std::invalid_argument);
+  service->stop();
+}
+
+TEST(SchedulerServiceLifecycle, DestructorStops) {
+  const GraphInstance gi = road_instance(256);
+  {
+    auto service = make_concrete(gi, 2);
+    (void)service->run({0, 100});
+  }  // destructor joins the pool; a hang here fails via test timeout
+}
+
+// ---- correctness vs the sequential oracle ----------------------------------
+
+TEST(SchedulerServiceQueries, SingleQueryMatchesOracle) {
+  const GraphInstance gi = road_instance(1000);
+  auto service = make_concrete(gi, 2);
+  // The road generator may round the lattice down; stay in range.
+  const Query q{3, gi.graph->num_vertices() - 7};
+  const QueryResult r = service->run(q);
+  const auto ref =
+      sequential_astar(*gi.graph, q.source, q.target, gi.weight_scale);
+  EXPECT_EQ(r.distance, ref.distance);
+  EXPECT_GT(r.tasks, 0u);
+  EXPECT_GT(r.latency_seconds, 0.0);
+  EXPECT_EQ(service->queries_completed(), 1u);
+  EXPECT_EQ(service->latency_histogram().count(), 1u);
+  service->stop();
+  EXPECT_GT(service->worker_stats().pops, 0u);
+}
+
+TEST(SchedulerServiceQueries, SourceEqualsTargetIsZero) {
+  const GraphInstance gi = road_instance(256);
+  auto service = make_concrete(gi, 2);
+  const QueryResult r = service->run({42, 42});
+  EXPECT_EQ(r.distance, 0u);
+  EXPECT_EQ(r.tasks, 0u);
+  EXPECT_EQ(service->queries_completed(), 1u);
+  service->stop();
+}
+
+TEST(SchedulerServiceQueries, UnreachableTargetReported) {
+  // Two disconnected path components: 0..63 and 64..127.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < 64; ++v) edges.push_back({v, v + 1, 1});
+  for (VertexId v = 64; v + 1 < 128; ++v) edges.push_back({v, v + 1, 1});
+  GraphInstance gi;
+  gi.graph = std::make_shared<Graph>(Graph::from_edges(128, std::move(edges)));
+  auto service = make_concrete(gi, 2);
+  EXPECT_EQ(service->run({0, 100}).distance, QueryResult::kUnreached);
+  EXPECT_EQ(service->run({0, 63}).distance, 63u);
+  service->stop();
+}
+
+TEST(SchedulerServiceQueries, ManyQueriesSequentialOracle) {
+  // Through the registry-erased factory, as smq_run builds it.
+  GraphRegistry& graphs = GraphRegistry::instance();
+  ParamMap params;
+  params.set("vertices", "2000");
+  params.set("seed", "9");
+  const GraphInstance gi = graphs.create("road", params);
+  auto service = make_service("smq", 4, params, gi);
+  const std::vector<Query> queries = make_query_set(gi, 64, /*seed=*/3);
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(queries.size());
+  for (const Query& q : queries) tickets.push_back(service->submit(q));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult r = tickets[i].get();
+    const auto ref = sequential_astar(*gi.graph, queries[i].source,
+                                      queries[i].target, gi.weight_scale);
+    EXPECT_EQ(r.distance, ref.distance) << "query " << i;
+  }
+  EXPECT_EQ(service->queries_completed(), queries.size());
+  service->stop();
+}
+
+TEST(SchedulerServiceQueries, ConcurrentSubmitters) {
+  constexpr unsigned kSubmitters = 4;
+  constexpr std::size_t kPerSubmitter = 32;
+  const GraphInstance gi = road_instance(1500, /*seed=*/11);
+  auto service = make_concrete(gi, 4);
+  std::vector<std::vector<Query>> sets;
+  for (unsigned s = 0; s < kSubmitters; ++s) {
+    sets.push_back(make_query_set(gi, kPerSubmitter, /*seed=*/100 + s));
+  }
+  std::vector<std::vector<QueryResult>> results(kSubmitters);
+  {
+    std::vector<std::jthread> submitters;
+    for (unsigned s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&, s] {
+        std::vector<QueryTicket> tickets;
+        for (const Query& q : sets[s]) tickets.push_back(service->submit(q));
+        for (auto& t : tickets) results[s].push_back(t.get());
+      });
+    }
+  }
+  for (unsigned s = 0; s < kSubmitters; ++s) {
+    for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+      const auto ref = sequential_astar(*gi.graph, sets[s][i].source,
+                                        sets[s][i].target, gi.weight_scale);
+      EXPECT_EQ(results[s][i].distance, ref.distance)
+          << "submitter " << s << " query " << i;
+    }
+  }
+  EXPECT_EQ(service->queries_completed(), kSubmitters * kPerSubmitter);
+  EXPECT_EQ(service->latency_histogram().count(), kSubmitters * kPerSubmitter);
+  service->stop();
+}
+
+TEST(SchedulerServiceQueries, LaneChurnWithSingleLane) {
+  // One lane forces every query to reuse the same labels through fresh
+  // epochs, with queries queued behind the busy lane.
+  const GraphInstance gi = road_instance(800, /*seed=*/13);
+  auto service = make_concrete(gi, 2, ServiceOptions{.lanes = 1});
+  EXPECT_EQ(service->num_lanes(), 1u);
+  const std::vector<Query> queries = make_query_set(gi, 50, /*seed=*/4);
+  std::vector<QueryTicket> tickets;
+  for (const Query& q : queries) tickets.push_back(service->submit(q));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto ref = sequential_astar(*gi.graph, queries[i].source,
+                                      queries[i].target, gi.weight_scale);
+    EXPECT_EQ(tickets[i].get().distance, ref.distance) << "query " << i;
+  }
+  service->stop();
+}
+
+TEST(SchedulerServiceQueries, UnbatchedLoopMatchesBatched) {
+  const GraphInstance gi = road_instance(1000, /*seed=*/17);
+  const std::vector<Query> queries = make_query_set(gi, 24, /*seed=*/6);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    auto service =
+        make_concrete(gi, 3, ServiceOptions{.batch_size = batch});
+    for (const Query& q : queries) {
+      const auto ref =
+          sequential_astar(*gi.graph, q.source, q.target, gi.weight_scale);
+      EXPECT_EQ(service->run(q).distance, ref.distance)
+          << "batch=" << batch;
+    }
+    service->stop();
+  }
+}
+
+TEST(SchedulerServiceQueries, DijkstraFallbackWithoutCoordinates) {
+  // No coordinates: heuristic must degrade to 0 (p2p Dijkstra) and still
+  // match the oracle (which degrades identically).
+  GraphInstance gi;
+  gi.graph =
+      std::make_shared<Graph>(make_erdos_renyi(600, 3600, /*seed=*/23));
+  auto service = make_concrete(gi, 2);
+  const std::vector<Query> queries = make_query_set(gi, 16, /*seed=*/8);
+  for (const Query& q : queries) {
+    const auto ref =
+        sequential_astar(*gi.graph, q.source, q.target, gi.weight_scale);
+    EXPECT_EQ(service->run(q).distance, ref.distance);
+  }
+  service->stop();
+}
+
+// ---- driver plumbing -------------------------------------------------------
+
+TEST(ServiceDriver, QuerySetIsSeededAndInRange) {
+  const GraphInstance gi = road_instance(500);
+  const auto a = make_query_set(gi, 40, 7);
+  const auto b = make_query_set(gi, 40, 7);
+  const auto c = make_query_set(gi, 40, 8);
+  ASSERT_EQ(a.size(), 40u);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_LT(a[i].source, 500u);
+    EXPECT_LT(a[i].target, 500u);
+    EXPECT_NE(a[i].source, a[i].target);
+    any_differs |= a[i].source != c[i].source || a[i].target != c[i].target;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(ServiceDriver, DriveModesMatchReference) {
+  const GraphInstance gi = road_instance(900, /*seed=*/19);
+  const std::vector<Query> queries = make_query_set(gi, 32, /*seed=*/2);
+  const ServiceReference ref = measure_service_reference(gi, queries, 1);
+  ASSERT_EQ(ref.distances.size(), queries.size());
+
+  auto service = make_concrete(gi, 4);
+  // Closed loop, then open loop at a rate the pool can absorb.
+  for (const double qps : {0.0, 2000.0}) {
+    const DriveResult drive = drive_service(*service, queries, qps, 1);
+    ASSERT_EQ(drive.results.size(), queries.size());
+    EXPECT_GT(drive.seconds, 0.0);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(drive.results[i].distance, ref.distances[i]) << "qps=" << qps;
+    }
+  }
+  service->stop();
+
+  const DriveResult spawn = drive_spawn_per_query(gi, "smq", ParamMap{}, 2,
+                                                  queries, /*batch_size=*/8);
+  ASSERT_EQ(spawn.results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(spawn.results[i].distance, ref.distances[i]);
+  }
+}
+
+TEST(ServiceFactory, UnknownSchedulerThrows) {
+  const GraphInstance gi = road_instance(256);
+  EXPECT_THROW(make_service("nope", 2, ParamMap{}, gi), std::invalid_argument);
+  EXPECT_THROW(service_effective_threads("nope", 2), std::invalid_argument);
+}
+
+TEST(ServiceFactory, StressManyShortQueries) {
+  // The TSan-gated stress: small graph, many short queries, more lanes
+  // than workers, submissions racing completions.
+  GraphRegistry& graphs = GraphRegistry::instance();
+  ParamMap params;
+  params.set("vertices", "600");
+  params.set("seed", "29");
+  const GraphInstance gi = graphs.create("road", params);
+  auto service =
+      make_service("smq", 4, params, gi, ServiceOptions{.lanes = 8});
+  const std::vector<Query> queries = make_query_set(gi, 200, /*seed=*/12);
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(queries.size());
+  for (const Query& q : queries) tickets.push_back(service->submit(q));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto ref = sequential_astar(*gi.graph, queries[i].source,
+                                      queries[i].target, gi.weight_scale);
+    EXPECT_EQ(tickets[i].get().distance, ref.distance) << "query " << i;
+  }
+  service->stop();
+  EXPECT_EQ(service->queries_completed(), queries.size());
+}
+
+}  // namespace
+}  // namespace smq

@@ -1,0 +1,143 @@
+// LatencyHistogram: exact percentiles on small samples, log-bucketed
+// approximation on large ones, lock-free concurrent recording, merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "sched/stats.h"
+#include "support/rng.h"
+
+namespace smq {
+namespace {
+
+TEST(PercentileSorted, ExactNearestRank) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 1);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.9), 9);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 10);
+  EXPECT_DOUBLE_EQ(percentile_sorted(std::vector<double>{}, 0.5), 0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(std::vector<double>{42}, 0.99), 42);
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0);
+}
+
+TEST(LatencyHistogram, SingleSample) {
+  LatencyHistogram h;
+  h.record_seconds(0.25);
+  EXPECT_EQ(h.count(), 1u);
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(p), 0.25) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, SmallSampleIsExact) {
+  // 100 samples fit the raw-sample array, so quantiles are exact
+  // nearest-rank, not bucket midpoints: 1ms..100ms.
+  LatencyHistogram h;
+  for (int ms = 100; ms >= 1; --ms) h.record_seconds(ms * 1e-3);
+  ASSERT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 0.050);
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 0.090);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.099);
+  EXPECT_DOUBLE_EQ(h.quantile(1.00), 0.100);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.100);
+}
+
+TEST(LatencyHistogram, BucketIndexMonotonicAndBounded) {
+  std::size_t prev = 0;
+  for (std::uint64_t ns = 0; ns < (1u << 20); ns += 97) {
+    const std::size_t b = LatencyHistogram::bucket_index(ns);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_LT(LatencyHistogram::bucket_index(~0ull),
+            LatencyHistogram::kNumBuckets);
+}
+
+TEST(LatencyHistogram, LargeSampleWithinBucketError) {
+  // Overflow the exact array; the log buckets bound the relative error
+  // at 1/16. Deterministic uniform values in [1ms, 1s).
+  LatencyHistogram h;
+  Xoshiro256 rng(42);
+  std::vector<double> raw;
+  constexpr int kSamples = 20000;
+  raw.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double s = 1e-3 + rng.next_double() * 0.999;
+    raw.push_back(s);
+    h.record_seconds(s);
+  }
+  ASSERT_EQ(h.count(), static_cast<std::uint64_t>(kSamples));
+  std::sort(raw.begin(), raw.end());
+  for (const double p : {0.50, 0.90, 0.99}) {
+    const double exact = percentile_sorted(raw, p);
+    const double approx = h.quantile(p);
+    EXPECT_NEAR(approx, exact, exact * 0.07) << "p=" << p;
+  }
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.90));
+  EXPECT_LE(h.quantile(0.90), h.quantile(0.99));
+}
+
+TEST(LatencyHistogram, ConcurrentRecordKeepsEverySample) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  {
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&h, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          h.record_ns(static_cast<std::uint64_t>(t + 1) * 1000 + i % 7);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(h.quantile(0.5), 1000 * 1e-9);
+  EXPECT_LE(h.quantile(1.0), 5000 * 1e-9);
+}
+
+TEST(LatencyHistogram, MergeAcrossThreadHistograms) {
+  // Per-thread histograms folded after the run: counts add, min/max
+  // survive, and a small merged sample stays exact.
+  LatencyHistogram a, b, merged;
+  for (int i = 1; i <= 50; ++i) a.record_seconds(i * 1e-3);
+  for (int i = 51; i <= 100; ++i) b.record_seconds(i * 1e-3);
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.50), 0.050);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.99), 0.099);
+  EXPECT_DOUBLE_EQ(merged.min_seconds(), 0.001);
+  EXPECT_DOUBLE_EQ(merged.max_seconds(), 0.100);
+}
+
+TEST(LatencyHistogram, MergeLargeStaysConsistent) {
+  LatencyHistogram a, b;
+  Xoshiro256 rng(7);
+  std::vector<double> raw;
+  for (int i = 0; i < 5000; ++i) {
+    const double s = 1e-4 + rng.next_double() * 0.01;
+    raw.push_back(s);
+    (i % 2 == 0 ? a : b).record_seconds(s);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5000u);
+  std::sort(raw.begin(), raw.end());
+  const double exact = percentile_sorted(raw, 0.9);
+  EXPECT_NEAR(a.quantile(0.9), exact, exact * 0.07);
+}
+
+}  // namespace
+}  // namespace smq

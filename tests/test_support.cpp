@@ -4,6 +4,8 @@
 #include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -143,6 +145,60 @@ TEST(Cli, TablePrinterAlignsColumns) {
 TEST(Cli, FormatsDoubles) {
   EXPECT_EQ(TablePrinter::fmt(1.234, 2), "1.23");
   EXPECT_EQ(TablePrinter::fmt(2.0, 1), "2.0");
+}
+
+TEST(Cli, ParseThreadListAcceptsSweeps) {
+  const auto counts = parse_thread_list("1,4,8");
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 4u);
+  EXPECT_EQ(counts[2], 8u);
+}
+
+TEST(Cli, ParseThreadListRejectsZeroAndGarbage) {
+  EXPECT_THROW(parse_thread_list("0"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("4,0,8"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("-2"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("four"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("4x"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list(",,"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_list("99999999999999999999"), std::invalid_argument);
+}
+
+TEST(Cli, OversubscriptionWarning) {
+  // Warns only when some requested count exceeds the machine.
+  EXPECT_EQ(oversubscription_warning({1, 2, 4}, 4), "");
+  const std::string warning = oversubscription_warning({2, 8}, 4);
+  EXPECT_NE(warning.find("8"), std::string::npos);
+  EXPECT_NE(warning.find("4 hardware"), std::string::npos);
+  EXPECT_NE(warning.find("oversubscription"), std::string::npos);
+  // Unknown hardware concurrency (0) must stay silent.
+  EXPECT_EQ(oversubscription_warning({64}, 0), "");
+}
+
+TEST(Cli, EditDistanceBasics) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("thread", "threads"), 1u);
+}
+
+TEST(Cli, NearestNameSuggestsCloseTypos) {
+  const std::vector<std::string> known{"threads", "sched", "graph", "queries"};
+  EXPECT_EQ(nearest_name("thread", known), "threads");
+  EXPECT_EQ(nearest_name("shced", known), "sched");
+  EXPECT_EQ(nearest_name("queriess", known), "queries");
+  // Nothing plausibly close: no suggestion beats a wrong suggestion.
+  EXPECT_EQ(nearest_name("zzzzzz", known), "");
+}
+
+TEST(Cli, UnknownFlagMessage) {
+  const std::vector<std::string> known{"threads", "sched"};
+  EXPECT_EQ(unknown_flag_message("thraeds", known),
+            "unknown option --thraeds (did you mean --threads?)");
+  EXPECT_EQ(unknown_flag_message("zzzzzz", known), "unknown option --zzzzzz");
 }
 
 }  // namespace

@@ -34,8 +34,10 @@
 //            static_dispatch.h; others fall back to virtual and say so)
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "registry/algorithm_registry.h"
@@ -43,14 +45,57 @@
 #include "registry/listing.h"
 #include "registry/numa_grid.h"
 #include "registry/scheduler_registry.h"
+#include "registry/service_factory.h"
 #include "registry/static_dispatch.h"
 #include "registry/suite_runner.h"
 #include "registry/suites.h"
+#include "service/service_driver.h"
 #include "support/cli.h"
 
 namespace {
 
 using namespace smq;
+
+/// Every flag this driver (and the suite runner it delegates to)
+/// understands: the built-ins plus every registered tunable of every
+/// scheduler, graph source and algorithm. Unknown flags are fatal —
+/// a silently ignored "--steal-sice 8" measures the wrong config.
+std::vector<std::string> known_flags() {
+  std::vector<std::string> known = {
+      "help",       "h",         "list",      "suite",    "sched",
+      "algo",       "graph",     "threads",   "reps",     "json",
+      "no-validate", "dispatch", "batch-size", "numa-grid", "graph-cache",
+      "service",    "qps",       "queries",   "lanes",    "query-seed"};
+  const auto add = [&known](const std::vector<Tunable>& tunables) {
+    for (const Tunable& t : tunables) known.push_back(t.name);
+  };
+  for (const std::string& n : SchedulerRegistry::instance().names()) {
+    add(SchedulerRegistry::instance().find(n)->tunables);
+  }
+  for (const std::string& n : GraphRegistry::instance().names()) {
+    add(GraphRegistry::instance().find(n)->tunables);
+  }
+  for (const std::string& n : AlgorithmRegistry::instance().names()) {
+    add(AlgorithmRegistry::instance().find(n)->tunables);
+  }
+  std::sort(known.begin(), known.end());
+  known.erase(std::unique(known.begin(), known.end()), known.end());
+  return known;
+}
+
+/// Reject misspelled flags with a nearest-name suggestion. Returns
+/// false (after explaining on stderr) when any option is unknown.
+bool check_flags(const ArgParser& args) {
+  const std::vector<std::string> known = known_flags();
+  bool ok = true;
+  for (const auto& [key, value] : args.options()) {
+    if (!std::binary_search(known.begin(), known.end(), key)) {
+      std::cerr << unknown_flag_message(key, known) << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 void print_suite_listing(std::ostream& os) {
   os << "\nsuites (--suite NAME reproduces the paper artifact):\n";
@@ -58,6 +103,128 @@ void print_suite_listing(std::ostream& os) {
     os << "  " << suite.name << " - " << suite.figure << ": "
        << suite.description << " (" << suite.runs.size() << " configs)\n";
   }
+}
+
+/// `smq_run --service`: drive a query stream through a persistent
+/// SchedulerService pool instead of one spawn/join sweep per row.
+/// Closed loop by default; `--qps R` switches to open-loop Poisson
+/// arrivals. Latency percentiles come from the service's lock-free
+/// histogram and always include queue wait.
+int run_service_mode(const ArgParser& args) {
+  ParamMap params = ParamMap::from_args(args);
+
+  const std::string graph_name = args.get("graph", "rand");
+  const std::string graph_cache = args.get("graph-cache");
+  GraphInstance graph;
+  try {
+    graph = graph_cache.empty()
+                ? GraphRegistry::instance().create(graph_name, params)
+                : GraphRegistry::instance().create_cached(graph_name, params,
+                                                          graph_cache);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << " (see smq_run --list)\n";
+    return 2;
+  }
+
+  std::vector<std::string> sched_names =
+      split_list(args.get("sched", "smq"), ',');
+  if (sched_names.size() == 1 && sched_names[0] == "all") {
+    sched_names = SchedulerRegistry::instance().names();
+  }
+  for (const std::string& name : sched_names) {
+    if (SchedulerRegistry::instance().find(name) == nullptr) {
+      std::cerr << "unknown scheduler: " << name << " (see smq_run --list)\n";
+      return 2;
+    }
+  }
+
+  std::vector<unsigned> thread_counts;
+  try {
+    thread_counts = parse_thread_list(args.get("threads", "4"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const std::string warn = oversubscription_warning(
+      thread_counts, std::thread::hardware_concurrency());
+  if (!warn.empty()) std::cerr << warn << "\n";
+
+  const auto num_queries =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("queries", 100)));
+  const double qps = args.get_double("qps", 0);
+  const std::uint64_t seed = params.get_uint("query-seed", 1);
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps", 1)));
+  const bool validate = !args.has_flag("no-validate");
+
+  ServiceOptions opts;
+  opts.lanes = static_cast<unsigned>(args.get_int("lanes", 0));
+  opts.batch_size =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("batch-size", 8)));
+
+  const std::vector<Query> queries =
+      make_query_set(graph, num_queries, seed);
+
+  std::cout << "graph: " << graph.name << " (" << graph.graph->num_vertices()
+            << " vertices, " << graph.graph->num_edges() << " edges)\n"
+            << "mode: service (" << num_queries << " queries, "
+            << (qps > 0 ? "poisson @" + TablePrinter::fmt(qps, 0) + " qps"
+                        : std::string("closed loop"))
+            << ", batch-size " << opts.batch_size << ")\n";
+
+  ServiceReport report;
+  report.graph = graph;
+  report.params = params;
+  report.queries = num_queries;
+  report.seed = seed;
+
+  ServiceReference reference;
+  if (validate) {
+    reference = measure_service_reference(graph, queries, reps);
+    report.reference = &reference;
+    std::cout << "reference: " << num_queries << " sequential queries, "
+              << TablePrinter::fmt(reference.seconds * 1e3) << " ms total\n";
+  }
+  std::cout << '\n';
+
+  bool any_invalid = false;
+  for (const std::string& name : sched_names) {
+    for (const unsigned requested : thread_counts) {
+      const unsigned threads = service_effective_threads(name, requested);
+      ServiceRow best;
+      for (int rep = 0; rep < reps; ++rep) {
+        std::unique_ptr<QueryService> service =
+            make_service(name, threads, params, graph, opts);
+        const DriveResult drive = drive_service(*service, queries, qps, seed);
+        service->stop();
+        ServiceRow row;
+        row.scheduler = name;
+        row.threads = threads;
+        row.lanes = service->num_lanes();
+        row.batch_size = opts.batch_size;
+        row.offered_qps = qps;
+        row.reps = reps;
+        row.stats = service->worker_stats();
+        finalize_service_row(row, drive, service->latency_histogram(),
+                             report.reference);
+        const bool better = rep == 0 ||
+                            (row.valid && !best.valid) ||
+                            (row.valid == best.valid && row.seconds < best.seconds);
+        if (better) best = std::move(row);
+      }
+      if (best.validated && !best.valid) any_invalid = true;
+      report.rows.push_back(std::move(best));
+    }
+  }
+
+  print_service_table(std::cout, report);
+  if (!emit_service_json(report, args.get("json"), std::cout, std::cerr)) {
+    return 2;
+  }
+  if (any_invalid) {
+    std::cerr << "\nERROR: at least one service run produced a wrong answer\n";
+    return 1;
+  }
+  return 0;
 }
 
 int run(int argc, char** argv) {
@@ -73,6 +240,8 @@ int run(int argc, char** argv) {
            "virtual|batched|static] [--batch-size N]\n"
            "               [--numa-grid nodes=N,..:k=K,..] "
            "[--graph-cache DIR]\n"
+           "               [--service [--qps R] [--queries N] [--lanes N] "
+           "[--query-seed S]]\n"
            "               [--<tunable> VALUE ...]\n\n"
            "Runs algorithm x scheduler x threads sweeps over a graph and "
            "prints a table\nplus optional JSON. `--list` shows every "
@@ -84,13 +253,33 @@ int run(int argc, char** argv) {
            "generated graphs as binary\nCSR keyed by their parameters so "
            "repeated sweeps skip generation;\n`--numa-grid` crosses the "
            "sweep with simulated-NUMA grid points (nodes x K),\neach row "
-           "reporting its measured remote-access fraction.\n";
+           "reporting its measured remote-access fraction.\n\n"
+           "`--service` runs point-to-point queries through a persistent "
+           "worker-pool\nservice instead of one spawn/join run per row: "
+           "`--queries N` random (s,t)\npairs (seeded by --query-seed) are "
+           "submitted closed-loop, or open-loop at\nPoisson rate `--qps R`; "
+           "rows report throughput plus p50/p90/p99 latency\n(queue wait "
+           "included) from the service's lock-free histogram.\n";
     return 0;
   }
   if (args.has_flag("list")) {
     print_registry_listing(std::cout);
     print_suite_listing(std::cout);
     return 0;
+  }
+
+  if (!check_flags(args)) return 2;
+
+  // ---- service mode ----------------------------------------------------
+  // A persistent worker pool serving the query stream; none of the
+  // sweep axes below (dispatch modes, numa grids) apply to it.
+  if (args.has_flag("service")) {
+    if (args.has_flag("suite") || args.has_flag("numa-grid")) {
+      std::cerr << "--service cannot be combined with --suite or "
+                   "--numa-grid\n";
+      return 2;
+    }
+    return run_service_mode(args);
   }
 
   // ---- suite delegation ------------------------------------------------
@@ -162,6 +351,9 @@ int run(int argc, char** argv) {
     std::cerr << e.what() << "\n";
     return 2;
   }
+  const std::string warn = oversubscription_warning(
+      thread_counts, std::thread::hardware_concurrency());
+  if (!warn.empty()) std::cerr << warn << "\n";
   const int reps = static_cast<int>(args.get_int("reps", 1));
   const bool validate = !args.has_flag("no-validate");
 
