@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
         if (rep > 0 && drive.seconds >= row.seconds) continue;
         row.lanes = service->num_lanes();
         row.stats = service->worker_stats();
+        row.memory_footprint = service->memory_footprint();
         finalize_service_row(row, drive, service->latency_histogram(),
                              &reference);
       }

@@ -72,6 +72,14 @@ class HeapWithStealingBuffer {
 
   std::size_t heap_size() const noexcept { return heap_.size(); }
 
+  /// Bytes held by the local queue, when it can report them (e.g. the
+  /// skiplist substrate's node pool). Any-thread safe.
+  std::size_t memory_footprint() const noexcept
+      requires requires(const LocalPQ& q) { q.memory_footprint(); }
+  {
+    return heap_.memory_footprint();
+  }
+
   // ---- any-thread interface -------------------------------------------
 
   /// Priority visible to stealers: the buffer head (paper's top()).

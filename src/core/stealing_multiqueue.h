@@ -169,6 +169,20 @@ class StealingMultiQueue {
   std::size_t local_heap_size(unsigned tid) const noexcept {
     return locals_[tid].value.queue->heap_size();
   }
+
+  /// Total bytes across the local queues, when the substrate reports
+  /// them (smq-skiplist does; the d-ary heap does not). Drives the
+  /// service's steady-state footprint stat.
+  std::size_t memory_footprint() const noexcept
+      requires requires(const QueueType& q) { q.memory_footprint(); }
+  {
+    std::size_t total = 0;
+    for (const auto& local : locals_) {
+      total += local.value.queue->memory_footprint();
+    }
+    return total;
+  }
+
   const SmqConfig& config() const noexcept { return cfg_; }
 
  private:

@@ -5,11 +5,24 @@
 // help unlink marked nodes. Keys are Tasks ordered by (priority, payload)
 // and duplicates are allowed (equal keys insert adjacently).
 //
-// Reclamation: nodes come from per-thread bump arenas owned by the list
-// and are freed wholesale on destruction. Unlinked nodes are never
-// recycled during a run, so no ABA and no hazard pointers are needed;
-// peak memory is proportional to total insertions (documented trade-off
-// for a benchmark substrate; DESIGN.md "SprayList").
+// Reclamation: nodes come from per-thread bump arenas owned by the list.
+// Without an EpochManager the historical behaviour is kept — unlinked
+// nodes are abandoned and freed wholesale on destruction (run-once
+// benchmark mode, peak memory proportional to total insertions). With an
+// EpochManager, a node is *retired* once it is physically unlinked from
+// every level, and after the two-epoch grace period it lands on the
+// retiring thread's free list, where allocate() reuses it — steady-state
+// footprint is bounded by the live set plus what is in flight, which is
+// what a long-lived service needs.
+//
+// Unlink detection is a per-node link count (crossbeam-skiplist's
+// scheme): `refs` equals the number of levels at which the node is
+// currently physically linked. Insert counts a level before its
+// pred-CAS creates the link (increment-if-nonzero, so a fully-unlinked
+// node can never be resurrected); every successful help-unlink CAS in
+// find() drops one; whoever drops the count to zero retires the node.
+// Callers in reclamation mode must hold an EpochManager::Guard around
+// any operation that touches list nodes, including const traversals.
 #pragma once
 
 #include <algorithm>
@@ -21,6 +34,7 @@
 #include <optional>
 #include <vector>
 
+#include "sched/epoch.h"
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
@@ -34,11 +48,17 @@ class LockFreeSkipList {
   struct Node {
     Task task;
     int height;
+    // Number of levels at which this node is physically linked; the
+    // transition to zero is the (unique) retirement point.
+    std::atomic<int> refs;
     std::array<std::atomic<Node*>, kMaxLevel> next;
   };
 
-  explicit LockFreeSkipList(unsigned num_threads)
-      : arenas_(num_threads == 0 ? 1 : num_threads) {
+  explicit LockFreeSkipList(unsigned num_threads,
+                            EpochManager* epochs = nullptr)
+      : epochs_(epochs),
+        arenas_(num_threads == 0 ? 1 : num_threads),
+        free_lists_(num_threads == 0 ? 1 : num_threads) {
     head_ = allocate(0, Task{0, 0}, kMaxLevel);
     for (int level = 0; level < kMaxLevel; ++level) {
       head_->next[static_cast<std::size_t>(level)].store(
@@ -48,7 +68,14 @@ class LockFreeSkipList {
 
   LockFreeSkipList(const LockFreeSkipList&) = delete;
   LockFreeSkipList& operator=(const LockFreeSkipList&) = delete;
-  ~LockFreeSkipList() = default;  // arenas free all nodes
+
+  ~LockFreeSkipList() {
+    // Flush pending retirements into the free lists while they are
+    // still alive; the arenas then free every node wholesale.
+    if (epochs_ != nullptr) epochs_->drain_all();
+  }
+
+  EpochManager* epochs() const noexcept { return epochs_; }
 
   /// Insert a task. Duplicates allowed. Height drawn from tid's RNG.
   void insert(unsigned tid, Task task, Xoshiro256& rng) {
@@ -58,17 +85,23 @@ class LockFreeSkipList {
     while (true) {
       Node* preds[kMaxLevel];
       Node* succs[kMaxLevel];
-      find(task, preds, succs);
+      find(tid, task, preds, succs);
+      // The node is still private: a plain store cannot clobber a mark.
       fresh->next[0].store(succs[0], std::memory_order_relaxed);
       if (!preds[0]->next[0].compare_exchange_strong(
               succs[0], fresh, std::memory_order_acq_rel,
               std::memory_order_acquire)) {
         continue;  // level-0 CAS lost; retry from scratch
       }
+      // Published: refs (initialized to 1) now counts the level-0 link.
       for (int level = 1; level < height; ++level) {
         while (true) {
-          fresh->next[static_cast<std::size_t>(level)].store(
-              succs[level], std::memory_order_relaxed);
+          // Aim the node's own pointer at its successor without
+          // overwriting a concurrent deleter's mark.
+          if (!set_next_unmarked(fresh, level, succs[level])) return;
+          // Count the link we are about to create. Failure means the
+          // node is already fully unlinked (and retired) — abandon.
+          if (!try_add_ref(fresh)) return;
           if (preds[level]
                   ->next[static_cast<std::size_t>(level)]
                   .compare_exchange_strong(succs[level], fresh,
@@ -76,12 +109,13 @@ class LockFreeSkipList {
                                            std::memory_order_acquire)) {
             break;
           }
+          release_ref(tid, fresh);  // link did not happen
           // Upper-level link lost a race: recompute neighbours. If the
           // node got deleted meanwhile, stop linking upper levels.
           if (is_marked(fresh->next[0].load(std::memory_order_acquire))) {
             return;
           }
-          find(task, preds, succs);
+          find(tid, task, preds, succs);
         }
       }
       return;
@@ -89,7 +123,8 @@ class LockFreeSkipList {
   }
 
   /// Exact delete-min: mark and return the first live node's task.
-  std::optional<Task> pop_min() {
+  /// `tid` owns any retirement triggered by the helping unlink.
+  std::optional<Task> pop_min(unsigned tid = 0) {
     while (true) {
       Node* node = strip(head_->next[0].load(std::memory_order_acquire));
       while (node != nullptr &&
@@ -98,8 +133,9 @@ class LockFreeSkipList {
       }
       if (node == nullptr) return std::nullopt;
       if (try_mark(node)) {
-        unlink(node->task);
-        return node->task;
+        const Task task = node->task;
+        unlink(tid, task);
+        return task;
       }
     }
   }
@@ -107,13 +143,14 @@ class LockFreeSkipList {
   /// Claim one specific node starting from `start` at level 0: walk
   /// forward over marked nodes and try to mark the first live one, for at
   /// most `attempts` candidates. Used by the spray.
-  std::optional<Task> pop_from(Node* start, int attempts) {
+  std::optional<Task> pop_from(Node* start, int attempts, unsigned tid = 0) {
     Node* node = start;
     while (node != nullptr && attempts-- > 0) {
       Node* next = node->next[0].load(std::memory_order_acquire);
       if (!is_marked(next) && try_mark(node)) {
-        unlink(node->task);
-        return node->task;
+        const Task task = node->task;
+        unlink(tid, task);
+        return task;
       }
       node = strip(node->next[0].load(std::memory_order_acquire));
     }
@@ -141,6 +178,18 @@ class LockFreeSkipList {
   }
 
   Node* head() const noexcept { return head_; }
+
+  /// Bytes held in node arenas. With reclamation on, this plateaus once
+  /// the free lists satisfy steady-state churn; without it, it grows
+  /// with total insertions. Any-thread safe.
+  std::size_t memory_footprint() const noexcept {
+    return arena_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Nodes parked on tid's free list (test/debug).
+  std::size_t free_count(unsigned tid) const noexcept {
+    return free_lists_[tid].value.count;
+  }
 
   /// Spray walk (SprayList [6]): descend from `start_level`, jumping a
   /// uniformly random number of nodes in [0, max_jump] per level, landing
@@ -175,8 +224,53 @@ class LockFreeSkipList {
     return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) | 1ull);
   }
 
+  /// CAS `node->next[level]` to `value`, preserving a concurrent mark.
+  /// Returns false iff the pointer is (or became) marked.
+  static bool set_next_unmarked(Node* node, int level, Node* value) noexcept {
+    Node* cur =
+        node->next[static_cast<std::size_t>(level)].load(
+            std::memory_order_acquire);
+    while (true) {
+      if (is_marked(cur)) return false;
+      if (cur == value) return true;
+      if (node->next[static_cast<std::size_t>(level)].compare_exchange_weak(
+              cur, value, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  /// Count one more physical link, unless the node already dropped to
+  /// zero (fully unlinked, retirement underway — must not resurrect).
+  static bool try_add_ref(Node* node) noexcept {
+    int refs = node->refs.load(std::memory_order_relaxed);
+    while (refs != 0) {
+      if (node->refs.compare_exchange_weak(refs, refs + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drop one physical link; the thread that drops the last one owns
+  /// the retirement.
+  void release_ref(unsigned tid, Node* node) {
+    if (node->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (epochs_ != nullptr) {
+        epochs_->retire(tid, node, &reclaim_into_free_list,
+                        &free_lists_[tid].value);
+      }
+      // Without a manager the node stays abandoned in its arena
+      // (historical leak-until-destruction mode).
+    }
+  }
+
   /// Logically delete `node` by marking its level-0 next pointer, then
-  /// marking upper levels (best effort).
+  /// marking upper levels (best effort; insert's set_next_unmarked
+  /// refuses to overwrite these marks).
   bool try_mark(Node* node) noexcept {
     Node* next = node->next[0].load(std::memory_order_acquire);
     while (!is_marked(next)) {
@@ -201,7 +295,8 @@ class LockFreeSkipList {
 
   /// Search for `task`, returning preds/succs per level; physically
   /// unlinks marked nodes encountered on the way (Harris helping).
-  void find(const Task& task, Node** preds, Node** succs) {
+  /// `tid` owns retirements of nodes this call fully unlinks.
+  void find(unsigned tid, const Task& task, Node** preds, Node** succs) {
   retry:
     Node* pred = head_;
     for (int level = kMaxLevel - 1; level >= 0; --level) {
@@ -214,7 +309,9 @@ class LockFreeSkipList {
             curr->next[static_cast<std::size_t>(level)].load(
                 std::memory_order_acquire);
         if (is_marked(succ)) {
-          // Help unlink curr at this level.
+          // Help unlink curr at this level. The CAS can succeed at most
+          // once per (node, level): it removes the unique unmarked
+          // incoming pointer, and marked nodes are never re-linked.
           Node* expected = curr;
           if (!pred->next[static_cast<std::size_t>(level)]
                    .compare_exchange_strong(expected, strip(succ),
@@ -222,6 +319,7 @@ class LockFreeSkipList {
                                             std::memory_order_acquire)) {
             goto retry;
           }
+          release_ref(tid, curr);
           curr = strip(succ);
           continue;
         }
@@ -235,10 +333,10 @@ class LockFreeSkipList {
   }
 
   /// Physically unlink a marked node (by key) via a full find().
-  void unlink(const Task& task) {
+  void unlink(unsigned tid, const Task& task) {
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
-    find(task, preds, succs);
+    find(tid, task, preds, succs);
   }
 
   int random_height(Xoshiro256& rng) noexcept {
@@ -248,15 +346,42 @@ class LockFreeSkipList {
     return height;
   }
 
+  struct FreeList {
+    Node* head = nullptr;
+    std::size_t count = 0;
+  };
+
+  /// EpochManager deleter: the grace period has elapsed, park the node
+  /// on the retiring thread's free list for reuse. Runs on the thread
+  /// that retired, so the free list needs no synchronization.
+  static void reclaim_into_free_list(void* ptr, void* ctx) {
+    Node* node = static_cast<Node*>(ptr);
+    auto* free_list = static_cast<FreeList*>(ctx);
+    node->next[0].store(free_list->head, std::memory_order_relaxed);
+    free_list->head = node;
+    ++free_list->count;
+  }
+
   Node* allocate(unsigned tid, Task task, int height) {
-    Arena& arena = arenas_[tid].value;
-    if (arena.used >= arena.block_size || arena.blocks.empty()) {
-      arena.blocks.push_back(std::make_unique<Node[]>(arena.block_size));
-      arena.used = 0;
+    FreeList& free_list = free_lists_[tid].value;
+    Node* node;
+    if (free_list.head != nullptr) {
+      node = free_list.head;
+      free_list.head = free_list.head->next[0].load(std::memory_order_relaxed);
+      --free_list.count;
+    } else {
+      Arena& arena = arenas_[tid].value;
+      if (arena.used >= arena.block_size || arena.blocks.empty()) {
+        arena.blocks.push_back(std::make_unique<Node[]>(arena.block_size));
+        arena.used = 0;
+        arena_bytes_.fetch_add(arena.block_size * sizeof(Node),
+                               std::memory_order_relaxed);
+      }
+      node = &arena.blocks.back()[arena.used++];
     }
-    Node* node = &arena.blocks.back()[arena.used++];
     node->task = task;
     node->height = height;
+    node->refs.store(1, std::memory_order_relaxed);
     for (auto& next : node->next) {
       next.store(nullptr, std::memory_order_relaxed);
     }
@@ -270,8 +395,11 @@ class LockFreeSkipList {
     std::vector<std::unique_ptr<Node[]>> blocks;
   };
 
+  EpochManager* epochs_;
   Node* head_;
   std::vector<Padded<Arena>> arenas_;
+  std::vector<Padded<FreeList>> free_lists_;
+  std::atomic<std::size_t> arena_bytes_{0};
 };
 
 }  // namespace smq

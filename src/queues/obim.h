@@ -52,6 +52,9 @@ struct ObimConfig {
   unsigned min_shift = 0;
   unsigned max_shift = 30;
   const Topology* topology = nullptr;  // per-node bag sharding
+  // Lock-free (Treiber) chunk stacks with epoch-based reclamation of
+  // drained chunks; false keeps the historical spinlocked stacks.
+  bool reclaim = false;
 
   friend bool operator==(const ObimConfig&, const ObimConfig&) = default;
 };
@@ -68,7 +71,11 @@ class Obim {
         num_threads_(num_threads),
         num_nodes_(cfg.topology ? cfg.topology->num_nodes() : 1),
         shift_(cfg.delta_shift),
-        locals_(num_threads) {
+        locals_(num_threads),
+        epochs_(cfg.reclaim
+                    ? std::make_unique<EpochManager>(num_threads ? num_threads
+                                                                 : 1)
+                    : nullptr) {
     if (cfg_.chunk_size == 0) cfg_.chunk_size = 1;
     if (cfg_.chunk_size > Chunk::kCapacity) cfg_.chunk_size = Chunk::kCapacity;
     for (unsigned tid = 0; tid < num_threads; ++tid) {
@@ -79,8 +86,8 @@ class Obim {
 
   ~Obim() {
     for (auto& local : locals_) {
-      delete local.value.push_chunk;
-      delete local.value.pop_chunk;
+      if (local.value.push_chunk != nullptr) alloc_.free(local.value.push_chunk);
+      if (local.value.pop_chunk != nullptr) alloc_.free(local.value.pop_chunk);
     }
   }
 
@@ -110,7 +117,7 @@ class Obim {
         return;
       }
       sched_->flush_push_chunk(local);
-      local.push_chunk = new Chunk();
+      local.push_chunk = sched_->alloc_.make();
       local.push_level = level;
       local.push_chunk->push(task);
     }
@@ -134,6 +141,10 @@ class Obim {
 
       sched_->refresh_mirror_if_stale(local);
 
+      // One pin for the whole scan: in Treiber mode every pop_chunk
+      // below dereferences stack tops a concurrent popper may retire.
+      EpochManager::Guard guard(sched_->epochs_.get(), tid_);
+
       // Full in-order scan: levels can refill below any cached position
       // (another thread may still be expanding a lower-level chunk), so
       // no scan-start shortcut is sound. The per-level check is one
@@ -145,7 +156,7 @@ class Obim {
           continue;
         }
         if (Chunk* chunk = bag->pop_chunk(local.node)) {
-          delete local.pop_chunk;
+          sched_->discard_pop_chunk(tid_, local);
           local.pop_chunk = chunk;
           ++local.pops;
           return local.pop_chunk->pop();
@@ -158,7 +169,7 @@ class Obim {
         for (auto& [level, bag] : local.mirror) {
           if (bag->looks_empty()) continue;
           if (Chunk* chunk = bag->pop_chunk(local.node)) {
-            delete local.pop_chunk;
+            sched_->discard_pop_chunk(tid_, local);
             local.pop_chunk = chunk;
             ++local.pops;
             return local.pop_chunk->pop();
@@ -194,6 +205,18 @@ class Obim {
   std::optional<Task> try_pop(unsigned tid) { return handle(tid).try_pop(); }
   void flush(unsigned tid) { handle(tid).flush(); }
 
+  /// Idle hook (ReclaimingScheduler): a parked worker lets the epoch
+  /// advance so retired chunks drain between bursts.
+  void quiesce(unsigned tid) {
+    if (epochs_ != nullptr) epochs_->quiesce(tid);
+  }
+
+  /// Bytes held in live chunks (bag stacks + thread locals + epoch
+  /// limbo). Advisory, any-thread safe.
+  std::size_t memory_footprint() const noexcept { return alloc_.bytes(); }
+
+  EpochManager* epochs() const noexcept { return epochs_.get(); }
+
  private:
   struct Local {
     Chunk* push_chunk = nullptr;
@@ -219,10 +242,24 @@ class Obim {
     std::lock_guard<std::mutex> guard(map_mutex_);
     auto [it, inserted] = levels_.try_emplace(level, nullptr);
     if (inserted) {
-      it->second = std::make_unique<ChunkBag>(num_nodes_);
+      // Every level's bag shares the scheduler-wide epoch manager.
+      it->second = std::make_unique<ChunkBag>(num_nodes_, epochs_.get());
       version_.fetch_add(1, std::memory_order_release);
     }
     return it->second.get();
+  }
+
+  /// Dispose of the thread's drained pop chunk: epoch-retire in
+  /// reclaim mode (a concurrent Treiber popper may still hold the
+  /// pointer), free immediately otherwise.
+  void discard_pop_chunk(unsigned tid, Local& local) {
+    if (local.pop_chunk == nullptr) return;
+    if (epochs_ != nullptr) {
+      epochs_->retire(tid, local.pop_chunk, &ChunkAlloc::deleter, &alloc_);
+    } else {
+      alloc_.free(local.pop_chunk);
+    }
+    local.pop_chunk = nullptr;
   }
 
   void flush_push_chunk(Local& local) {
@@ -303,12 +340,19 @@ class Obim {
   std::atomic<unsigned> shift_;
   std::vector<Padded<Local>> locals_;
 
+  // alloc_ before epochs_: the manager's destructor drains limbo
+  // entries whose deleter context is alloc_.
+  ChunkAlloc alloc_;
+  std::unique_ptr<EpochManager> epochs_;
+
   std::mutex map_mutex_;
   std::map<std::uint64_t, std::unique_ptr<ChunkBag>> levels_;
   std::atomic<std::uint64_t> version_{1};
 };
 
 static_assert(HandleScheduler<Obim>);
+static_assert(ReclaimingScheduler<Obim>);
+static_assert(MemoryReportingScheduler<Obim>);
 
 /// PMOD is OBIM with runtime delta adaptation enabled (paper Section 1,
 /// [27]); starting delta and chunk size remain tunable.

@@ -5,14 +5,25 @@
 // uniformly-ish inside the first O(T log^3 T) elements, so concurrent
 // deleters collide rarely. One of the advanced-scheduler baselines in
 // Figure 2 of the paper.
+//
+// With `reclaim = true` the scheduler owns an EpochManager: every
+// handle operation pins the epoch once (per op or per batch, never per
+// pointer), unlinked nodes are retired and recycled through per-thread
+// free lists, and quiesce() lets parked service workers advance
+// reclamation between query bursts.
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "queues/lockfree_skiplist.h"
+#include "sched/epoch.h"
+#include "sched/scheduler_traits.h"
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
@@ -25,6 +36,9 @@ struct SprayConfig {
   // H = log T + K and uniform jumps of length O(log T).
   int height_offset = 1;
   int jump_scale = 1;
+  // Epoch-based reclamation: bounded steady-state footprint for
+  // long-lived (service) use, small pin cost per operation.
+  bool reclaim = false;
 };
 
 class SprayList {
@@ -33,7 +47,9 @@ class SprayList {
 
   SprayList(unsigned num_threads, Config cfg = {})
       : num_threads_(num_threads == 0 ? 1 : num_threads),
-        list_(num_threads_),
+        epochs_(cfg.reclaim ? std::make_unique<EpochManager>(num_threads_)
+                            : nullptr),
+        list_(num_threads_, epochs_.get()),
         rngs_(num_threads_) {
     for (unsigned tid = 0; tid < num_threads_; ++tid) {
       rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
@@ -48,12 +64,73 @@ class SprayList {
   unsigned num_threads() const noexcept { return num_threads_; }
 
   void push(unsigned tid, Task task) {
+    EpochManager::Guard guard(epochs_.get(), tid);
     list_.insert(tid, task, rngs_[tid].value);
   }
 
   std::optional<Task> try_pop(unsigned tid) {
+    EpochManager::Guard guard(epochs_.get(), tid);
+    return pop_pinned(tid);
+  }
+
+  /// Per-thread handle: one epoch pin per operation or batch.
+  class Handle {
+   public:
+    Handle(SprayList& sched, unsigned tid) noexcept
+        : sched_(&sched), tid_(tid) {}
+
+    void push(Task t) { sched_->push(tid_, t); }
+    std::optional<Task> try_pop() { return sched_->try_pop(tid_); }
+
+    void push_batch(std::span<const Task> tasks) {
+      EpochManager::Guard guard(sched_->epochs_.get(), tid_);
+      Xoshiro256& rng = sched_->rngs_[tid_].value;
+      for (const Task& t : tasks) sched_->list_.insert(tid_, t, rng);
+    }
+
+    std::size_t try_pop_batch(std::vector<Task>& out, std::size_t max) {
+      EpochManager::Guard guard(sched_->epochs_.get(), tid_);
+      std::size_t taken = 0;
+      while (taken < max) {
+        std::optional<Task> task = sched_->pop_pinned(tid_);
+        if (!task) break;
+        out.push_back(*task);
+        ++taken;
+      }
+      return taken;
+    }
+
+    void flush() {}
+    void collect_stats(ThreadStats&) const {}
+    unsigned thread_id() const noexcept { return tid_; }
+
+   private:
+    SprayList* sched_;
+    unsigned tid_;
+  };
+
+  Handle handle(unsigned tid) noexcept { return Handle(*this, tid); }
+
+  /// Idle hook (ReclaimingScheduler): called unpinned, typically by a
+  /// parked service worker.
+  void quiesce(unsigned tid) {
+    if (epochs_ != nullptr) epochs_->quiesce(tid);
+  }
+
+  /// Bytes held in skiplist node arenas (recycled nodes included).
+  std::size_t memory_footprint() const noexcept {
+    return list_.memory_footprint();
+  }
+
+  EpochManager* epochs() const noexcept { return epochs_.get(); }
+
+  /// Quiescent-only in reclaim mode (unpinned traversal; test/teardown).
+  bool empty() const noexcept { return list_.empty(); }
+
+ private:
+  std::optional<Task> pop_pinned(unsigned tid) {
     Xoshiro256& rng = rngs_[tid].value;
-    if (num_threads_ == 1) return list_.pop_min();
+    if (num_threads_ == 1) return list_.pop_min(tid);
     // A few spray attempts, then fall back to exact delete-min so the
     // drain phase terminates (the original does the same via "become a
     // cleaner" mode).
@@ -61,21 +138,26 @@ class SprayList {
       LockFreeSkipList::Node* node =
           list_.spray(spray_height_, max_jump_, rng);
       if (node == nullptr) break;
-      if (std::optional<Task> task = list_.pop_from(node, max_jump_ + 1)) {
+      if (std::optional<Task> task =
+              list_.pop_from(node, max_jump_ + 1, tid)) {
         return task;
       }
     }
-    return list_.pop_min();
+    return list_.pop_min(tid);
   }
 
-  bool empty() const noexcept { return list_.empty(); }
-
- private:
   unsigned num_threads_;
+  // Declared before the list: the manager must outlive it so the
+  // list destructor can drain pending retirements into its free lists.
+  std::unique_ptr<EpochManager> epochs_;
   LockFreeSkipList list_;
   std::vector<Padded<Xoshiro256>> rngs_;
   int spray_height_ = 1;
   int max_jump_ = 1;
 };
+
+static_assert(HandleScheduler<SprayList>);
+static_assert(ReclaimingScheduler<SprayList>);
+static_assert(MemoryReportingScheduler<SprayList>);
 
 }  // namespace smq

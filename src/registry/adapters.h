@@ -14,6 +14,7 @@
 //    metric.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "queues/chunk_bag.h"
 #include "queues/d_ary_heap.h"
 #include "queues/lockfree_skiplist.h"
+#include "sched/epoch.h"
 #include "sched/scheduler_traits.h"
 #include "sched/stats.h"
 #include "sched/task.h"
@@ -120,16 +122,21 @@ static_assert(HandleScheduler<GlobalHeapScheduler>);
 
 struct GlobalSkipListConfig {
   std::uint64_t seed = 1;
+  bool reclaim = false;  // epoch-based node reclamation + reuse
 };
 
-/// Exact concurrent delete-min over the lock-free skip list.
+/// Exact concurrent delete-min over the lock-free skip list. Stays
+/// tid-only on purpose (the standing exercise of the TidHandle shim);
+/// with reclamation on, each tid call pins the epoch for its duration.
 class GlobalSkipListScheduler {
  public:
   using Config = GlobalSkipListConfig;
 
   explicit GlobalSkipListScheduler(unsigned num_threads, Config cfg = {})
       : num_threads_(num_threads == 0 ? 1 : num_threads),
-        list_(num_threads_),
+        epochs_(cfg.reclaim ? std::make_unique<EpochManager>(num_threads_)
+                            : nullptr),
+        list_(num_threads_, epochs_.get()),
         rngs_(num_threads_) {
     for (unsigned tid = 0; tid < num_threads_; ++tid) {
       rngs_[tid].value = Xoshiro256(thread_seed(cfg.seed, tid));
@@ -139,22 +146,43 @@ class GlobalSkipListScheduler {
   unsigned num_threads() const noexcept { return num_threads_; }
 
   void push(unsigned tid, Task task) {
+    EpochManager::Guard guard(epochs_.get(), tid);
     list_.insert(tid, task, rngs_[tid].value);
   }
 
-  std::optional<Task> try_pop(unsigned /*tid*/) { return list_.pop_min(); }
+  std::optional<Task> try_pop(unsigned tid) {
+    EpochManager::Guard guard(epochs_.get(), tid);
+    return list_.pop_min(tid);
+  }
+
+  void quiesce(unsigned tid) {
+    if (epochs_ != nullptr) epochs_->quiesce(tid);
+  }
+
+  std::size_t memory_footprint() const noexcept {
+    return list_.memory_footprint();
+  }
+
+  EpochManager* epochs() const noexcept { return epochs_.get(); }
 
  private:
   unsigned num_threads_;
+  // Before the list: its destructor drains retirements into the list's
+  // free lists, which must still exist.
+  std::unique_ptr<EpochManager> epochs_;
   LockFreeSkipList list_;
   std::vector<Padded<Xoshiro256>> rngs_;
 };
+
+static_assert(ReclaimingScheduler<GlobalSkipListScheduler>);
+static_assert(MemoryReportingScheduler<GlobalSkipListScheduler>);
 
 /// A single unordered ChunkBag shared by all threads (OBIM with exactly
 /// one priority level). Buffers pushes into thread-local chunks, so it is
 /// flushable; pops drain a thread-local chunk taken from the bag.
 struct ChunkBagSchedulerConfig {
   std::size_t chunk_size = 64;
+  bool reclaim = false;  // Treiber stacks + epoch-retired chunks
 };
 
 class ChunkBagScheduler {
@@ -167,13 +195,15 @@ class ChunkBagScheduler {
                         ? 1
                         : (cfg.chunk_size > Chunk::kCapacity ? Chunk::kCapacity
                                                              : cfg.chunk_size)),
-        bag_(1),
+        epochs_(cfg.reclaim ? std::make_unique<EpochManager>(num_threads_)
+                            : nullptr),
+        bag_(1, epochs_.get()),
         locals_(num_threads_) {}
 
   ~ChunkBagScheduler() {
     for (auto& local : locals_) {
-      delete local.value.push_chunk;
-      delete local.value.pop_chunk;
+      if (local.value.push_chunk != nullptr) alloc_.free(local.value.push_chunk);
+      if (local.value.pop_chunk != nullptr) alloc_.free(local.value.pop_chunk);
     }
   }
 
@@ -184,7 +214,7 @@ class ChunkBagScheduler {
 
   void push(unsigned tid, Task task) {
     Local& local = locals_[tid].value;
-    if (local.push_chunk == nullptr) local.push_chunk = new Chunk();
+    if (local.push_chunk == nullptr) local.push_chunk = alloc_.make();
     local.push_chunk->push(task);
     if (local.push_chunk->full(chunk_size_)) {
       bag_.push_chunk(0, local.push_chunk);
@@ -197,8 +227,13 @@ class ChunkBagScheduler {
     if (local.pop_chunk != nullptr && !local.pop_chunk->empty()) {
       return local.pop_chunk->pop();
     }
+    // One pin covers the Treiber pop and the retirement of the chunk
+    // it replaces (no-op guard in locked mode).
+    EpochManager::Guard guard(epochs_.get(), tid);
     if (Chunk* chunk = bag_.pop_chunk(0)) {
-      delete local.pop_chunk;
+      if (local.pop_chunk != nullptr) {
+        bag_.retire_chunk(tid, local.pop_chunk, alloc_);
+      }
       local.pop_chunk = chunk;
       return local.pop_chunk->pop();
     }
@@ -216,6 +251,14 @@ class ChunkBagScheduler {
     local.push_chunk = nullptr;
   }
 
+  void quiesce(unsigned tid) {
+    if (epochs_ != nullptr) epochs_->quiesce(tid);
+  }
+
+  std::size_t memory_footprint() const noexcept { return alloc_.bytes(); }
+
+  EpochManager* epochs() const noexcept { return epochs_.get(); }
+
  private:
   struct Local {
     Chunk* push_chunk = nullptr;
@@ -224,8 +267,14 @@ class ChunkBagScheduler {
 
   unsigned num_threads_;
   std::size_t chunk_size_;
+  // alloc_ before epochs_: limbo deleters reference alloc_.
+  ChunkAlloc alloc_;
+  std::unique_ptr<EpochManager> epochs_;
   ChunkBag bag_;
   std::vector<Padded<Local>> locals_;
 };
+
+static_assert(ReclaimingScheduler<ChunkBagScheduler>);
+static_assert(MemoryReportingScheduler<ChunkBagScheduler>);
 
 }  // namespace smq

@@ -126,6 +126,13 @@ class AnyScheduler {
   }
   unsigned num_threads() const { return impl_->num_threads(); }
 
+  /// Reclamation idle hook; no-op for schedulers that do not defer any.
+  void quiesce(unsigned tid) { impl_->quiesce(tid); }
+
+  /// Bytes held by the concrete scheduler's queues; 0 when it does not
+  /// report.
+  std::size_t memory_footprint() const { return impl_->memory_footprint(); }
+
   /// Access the concrete scheduler (tests, stat scraping). Returns
   /// nullptr if the erased type is not S.
   template <typename S>
@@ -145,6 +152,8 @@ class AnyScheduler {
     virtual void flush(unsigned tid) = 0;
     virtual void collect_stats(unsigned tid, ThreadStats& st) const = 0;
     virtual unsigned num_threads() const = 0;
+    virtual void quiesce(unsigned tid) = 0;
+    virtual std::size_t memory_footprint() const = 0;
     virtual std::unique_ptr<HandleView> acquire(unsigned tid) = 0;
   };
 
@@ -194,6 +203,10 @@ class AnyScheduler {
       collect_stats_if_supported(sched, tid, st);
     }
     unsigned num_threads() const override { return sched.num_threads(); }
+    void quiesce(unsigned tid) override { quiesce_if_supported(sched, tid); }
+    std::size_t memory_footprint() const override {
+      return memory_footprint_if_supported(sched);
+    }
     std::unique_ptr<HandleView> acquire(unsigned tid) override {
       return std::make_unique<HandleModel>(sched, tid);
     }
@@ -215,5 +228,8 @@ static_assert(StatReportingScheduler<AnyScheduler>,
 static_assert(HandleScheduler<AnyScheduler>,
               "AnyScheduler must expose the once-per-run handle boundary");
 static_assert(SchedulerHandle<AnyScheduler::Handle>);
+static_assert(ReclaimingScheduler<AnyScheduler> &&
+                  MemoryReportingScheduler<AnyScheduler>,
+              "AnyScheduler must forward the reclamation hooks");
 
 }  // namespace smq

@@ -77,6 +77,40 @@ concept StatReportingScheduler =
       { s.collect_stats(tid, st) } -> std::same_as<void>;
     };
 
+/// Schedulers whose lock-free structures defer memory reclamation
+/// through an EpochManager. quiesce(tid) is the idle hook: called on a
+/// thread that is about to park (and holds no epoch guard), it gives
+/// the manager a chance to advance the global epoch and drain that
+/// thread's retire list, so memory is reclaimed between query bursts
+/// rather than only under load. Handles of such schedulers pin the
+/// epoch once per operation or batch — never per pointer.
+template <typename S>
+concept ReclaimingScheduler = PriorityScheduler<S> && requires(S s, unsigned tid) {
+  { s.quiesce(tid) } -> std::same_as<void>;
+};
+
+/// Schedulers that can report the bytes their queues currently hold
+/// (arenas, chunk pools, retire lists). Advisory and any-thread safe —
+/// the service surfaces it as a steady-state footprint stat.
+template <typename S>
+concept MemoryReportingScheduler =
+    PriorityScheduler<S> && requires(const S s) {
+      { s.memory_footprint() } -> std::convertible_to<std::size_t>;
+    };
+
+/// Idle hook: let the scheduler advance reclamation if it defers any.
+template <PriorityScheduler S>
+void quiesce_if_supported(S& sched, unsigned tid) {
+  if constexpr (ReclaimingScheduler<S>) sched.quiesce(tid);
+}
+
+/// Bytes held by the scheduler's queues, 0 when it does not report.
+template <PriorityScheduler S>
+std::size_t memory_footprint_if_supported(const S& sched) {
+  if constexpr (MemoryReportingScheduler<S>) return sched.memory_footprint();
+  return 0;
+}
+
 /// Merge scheduler-private counters into `st` if the scheduler has any.
 template <PriorityScheduler S>
 void collect_stats_if_supported(const S& sched, unsigned tid, ThreadStats& st) {

@@ -90,6 +90,12 @@ class QueryService {
   /// Aggregated executor counters (pushes/pops/wasted/steals...).
   /// Scheduler-private counters are folded in by stop(); call after it.
   virtual ThreadStats worker_stats() const = 0;
+
+  /// Approximate bytes held by the scheduler's queues (node arenas,
+  /// chunk pools, reclamation limbo). 0 when the scheduler does not
+  /// report; advisory and safe to poll while queries are in flight —
+  /// the soak test watches this for a steady-state plateau.
+  virtual std::size_t memory_footprint() const { return 0; }
 };
 
 }  // namespace smq

@@ -178,6 +178,10 @@ class SchedulerService final : public QueryService {
 
   ThreadStats worker_stats() const override { return stats_.total(); }
 
+  std::size_t memory_footprint() const override {
+    return memory_footprint_if_supported(sched_);
+  }
+
   /// The wrapped scheduler (tests, stat scraping).
   S& scheduler() noexcept { return sched_; }
 
@@ -324,6 +328,12 @@ class SchedulerService final : public QueryService {
       // Nothing runnable and nothing admissible: park. The predicate
       // mirrors every wake source — shutdown, new in-flight work, or an
       // admissible (queued query x free lane) pair.
+      //
+      // Parking is the reclamation quiesce point: with no epoch guard
+      // held, let the scheduler advance its epoch and drain this
+      // thread's retire list, so memory from the last burst is
+      // reclaimed even if the service then sits idle.
+      quiesce_if_supported(sched_, handle.thread_id());
       std::unique_lock lk(mutex_);
       cv_.wait(lk, [&] {
         return stop_ || pending_.load(std::memory_order_acquire) != 0 ||

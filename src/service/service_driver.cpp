@@ -157,7 +157,7 @@ std::string mode_label(const ServiceRow& row) {
 void print_service_table(std::ostream& os, const ServiceReport& report) {
   TablePrinter table({"scheduler", "mode", "thr", "lanes", "queries", "wall ms",
                       "qps", "p50 ms", "p90 ms", "p99 ms", "tasks", "wasted",
-                      "speedup", "ok"});
+                      "mem KiB", "speedup", "ok"});
   for (const ServiceRow& row : report.rows) {
     table.add_row({row.scheduler, mode_label(row), std::to_string(row.threads),
                    row.spawn_baseline ? "-" : std::to_string(row.lanes),
@@ -168,6 +168,11 @@ void print_service_table(std::ostream& os, const ServiceReport& report) {
                    TablePrinter::fmt(row.p90_ms, 3),
                    TablePrinter::fmt(row.p99_ms, 3), std::to_string(row.tasks),
                    std::to_string(row.wasted),
+                   row.memory_footprint > 0
+                       ? TablePrinter::fmt(
+                             static_cast<double>(row.memory_footprint) / 1024.0,
+                             1)
+                       : std::string("-"),
                    row.speedup_vs_seq > 0 ? TablePrinter::fmt(row.speedup_vs_seq)
                                           : std::string("-"),
                    row.validated ? (row.valid ? "yes" : "NO") : "-"});
@@ -234,6 +239,8 @@ void write_service_json(std::ostream& os, const ServiceReport& report) {
       json.member("pushes", row.stats.pushes);
       json.member("empty_pops", row.stats.empty_pops);
       json.member("steals", row.stats.steals);
+      json.member("memory_footprint_bytes",
+                  static_cast<std::uint64_t>(row.memory_footprint));
     }
     if (row.speedup_vs_seq > 0) {
       json.member("speedup_vs_seq", row.speedup_vs_seq);

@@ -83,6 +83,10 @@ struct ServiceRow {
   std::uint64_t tasks = 0;
   std::uint64_t wasted = 0;
   ThreadStats stats;  // service worker counters (empty for spawn rows)
+  /// Bytes held by the scheduler's queues when the drive finished (node
+  /// arenas, chunk pools, reclamation limbo); 0 when the scheduler does
+  /// not report. The soak test and CI trajectory watch this.
+  std::size_t memory_footprint = 0;
   bool validated = false;
   bool valid = true;
   double speedup_vs_seq = 0;

@@ -40,17 +40,21 @@ static_assert(HandleScheduler<Pmod>);
 static_assert(HandleScheduler<ReldQueue>);
 static_assert(HandleScheduler<GlobalHeapScheduler>);
 static_assert(HandleScheduler<SequentialScheduler>);
+// SprayList gained a native handle with epoch reclamation (the batch ops
+// pin once per batch, which a TidHandle shim could not express).
+static_assert(HandleScheduler<SprayList>);
 // ... and the type-erasure boundary forwards them.
 static_assert(HandleScheduler<AnyScheduler>);
 
 // Anchor schedulers intentionally left on the tid surface run through
 // the TidHandle shim, which itself models the handle concept.
-static_assert(!HandleScheduler<SprayList>);
 static_assert(!HandleScheduler<GlobalSkipListScheduler>);
 static_assert(!HandleScheduler<ChunkBagScheduler>);
-static_assert(SchedulerHandle<TidHandle<SprayList>>);
+static_assert(SchedulerHandle<TidHandle<GlobalSkipListScheduler>>);
 static_assert(SchedulerHandle<TidHandle<ChunkBagScheduler>>);
-static_assert(std::same_as<HandleOf<SprayList>, TidHandle<SprayList>>);
+static_assert(std::same_as<HandleOf<SprayList>, SprayList::Handle>);
+static_assert(std::same_as<HandleOf<GlobalSkipListScheduler>,
+                           TidHandle<GlobalSkipListScheduler>>);
 static_assert(std::same_as<HandleOf<SmqHeap>, SmqHeap::Handle>);
 
 // ---- the adapter fallback on a minimal tid-only scheduler -----------------

@@ -137,5 +137,78 @@ TEST(LockFreeSkipList, ConcurrentMixedNoLossNoDuplication) {
   }
 }
 
+// ---- epoch reclamation mode -----------------------------------------------
+
+TEST(LockFreeSkipListReclaim, FootprintPlateausAcrossFillDrainCycles) {
+  // With reclamation on, popped nodes cycle retire -> limbo -> per-thread
+  // free list -> reuse, so repeated fill/drain rounds must stop growing
+  // the arena after the first few (without reclamation every round leaks
+  // its nodes until destruction).
+  EpochManager epochs(1);
+  LockFreeSkipList list(1, &epochs);
+  Xoshiro256 rng(6);
+  constexpr std::uint64_t kPerRound = 2000;
+
+  std::size_t warmup_footprint = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (std::uint64_t i = 0; i < kPerRound; ++i) {
+      EpochManager::Guard guard(&epochs, 0);
+      list.insert(0, Task{i, i}, rng);
+    }
+    for (std::uint64_t i = 0; i < kPerRound; ++i) {
+      EpochManager::Guard guard(&epochs, 0);
+      ASSERT_TRUE(list.pop_min(0).has_value());
+    }
+    // Between rounds the thread is idle: let limbo drain into the free
+    // list the way a parked service worker would.
+    epochs.quiesce(0);
+    epochs.quiesce(0);
+    if (round == 3) warmup_footprint = list.memory_footprint();
+  }
+  ASSERT_GT(warmup_footprint, 0u);
+  EXPECT_LE(list.memory_footprint(), warmup_footprint)
+      << "arena kept growing despite node reuse";
+  EXPECT_GT(list.free_count(0), 0u) << "no node ever reached the free list";
+}
+
+TEST(LockFreeSkipListReclaim, ConcurrentMixedWithReclamationExactlyOnce) {
+  // The ASan/TSan target: racing inserts and pops while nodes retire
+  // and get reused. A premature free surfaces as a UAF, a lost unlink
+  // as a missing/duplicated payload.
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 3000;
+  EpochManager epochs(kThreads);
+  LockFreeSkipList list(kThreads, &epochs);
+  std::mutex merge_mutex;
+  std::map<std::uint64_t, int> seen;
+  {
+    std::vector<std::jthread> workers;
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+      workers.emplace_back([&, tid] {
+        Xoshiro256 rng(tid + 77);
+        std::vector<std::uint64_t> local;
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          const std::uint64_t id = tid * kPerThread + i;
+          {
+            EpochManager::Guard guard(&epochs, tid);
+            list.insert(tid, Task{id, id}, rng);
+          }
+          if (i % 2 == 1) {
+            EpochManager::Guard guard(&epochs, tid);
+            if (auto t = list.pop_min(tid)) local.push_back(t->payload);
+          }
+        }
+        std::lock_guard<std::mutex> guard(merge_mutex);
+        for (const std::uint64_t id : local) ++seen[id];
+      });
+    }
+  }
+  while (auto t = list.pop_min(0)) ++seen[t->payload];
+  EXPECT_EQ(seen.size(), kThreads * kPerThread);
+  for (const auto& [id, count] : seen) {
+    ASSERT_EQ(count, 1) << "task " << id;
+  }
+}
+
 }  // namespace
 }  // namespace smq

@@ -204,6 +204,7 @@ int run_service_mode(const ArgParser& args) {
         row.offered_qps = qps;
         row.reps = reps;
         row.stats = service->worker_stats();
+        row.memory_footprint = service->memory_footprint();
         finalize_service_row(row, drive, service->latency_histogram(),
                              report.reference);
         const bool better = rep == 0 ||
