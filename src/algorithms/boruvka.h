@@ -22,6 +22,7 @@
 #include "sched/scheduler_traits.h"
 #include "support/padding.h"
 #include "support/spinlock.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -35,8 +36,39 @@ namespace detail {
 
 struct Component {
   Spinlock lock;
-  std::vector<Edge> candidates;  // edges possibly leaving the component
+  // Edges possibly leaving the component; scanned and compacted only by
+  // the task holding `lock`.
+  std::vector<Edge> candidates SMQ_GUARDED_BY(lock);
 };
+
+/// Symmetrize the graph into per-vertex candidate lists and emit the
+/// initial degree-priority tasks. Runs strictly before the worker pool
+/// exists, so the component locks are provably uncontended — which the
+/// static analysis cannot see, hence the opt-out.
+inline std::vector<Task> build_components(
+    const Graph& graph, std::vector<Padded<Component>>& components)
+    SMQ_NO_THREAD_SAFETY_ANALYSIS {
+  const VertexId n = graph.num_vertices();
+  // MST treats arcs as undirected, and the cut property needs every
+  // component to see *all* edges crossing its cut, including in-arcs.
+  // Directed inputs (e.g. RMAT) would otherwise produce a heavier forest.
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Graph::Neighbor& e : graph.neighbors(v)) {
+      if (e.to == v) continue;
+      components[v].value.candidates.push_back(Edge{v, e.to, e.weight});
+      components[e.to].value.candidates.push_back(Edge{e.to, v, e.weight});
+    }
+  }
+  std::vector<Task> seeds;
+  seeds.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto& comp = components[v].value;
+    if (!comp.candidates.empty()) {
+      seeds.push_back(Task{comp.candidates.size(), v});
+    }
+  }
+  return seeds;
+}
 
 }  // namespace detail
 
@@ -57,25 +89,7 @@ MstResult parallel_boruvka(const Graph& graph, S& sched,
   std::atomic<std::uint64_t> total_weight{0};
   std::atomic<std::uint64_t> forest_edges{0};
 
-  // Symmetrize candidate lists: MST treats arcs as undirected, and the
-  // cut property needs every component to see *all* edges crossing its
-  // cut, including in-arcs. Directed inputs (e.g. RMAT) would otherwise
-  // produce a heavier forest.
-  for (VertexId v = 0; v < n; ++v) {
-    for (const Graph::Neighbor& e : graph.neighbors(v)) {
-      if (e.to == v) continue;
-      components[v].value.candidates.push_back(Edge{v, e.to, e.weight});
-      components[e.to].value.candidates.push_back(Edge{e.to, v, e.weight});
-    }
-  }
-  std::vector<Task> seeds;
-  seeds.reserve(n);
-  for (VertexId v = 0; v < n; ++v) {
-    auto& comp = components[v].value;
-    if (!comp.candidates.empty()) {
-      seeds.push_back(Task{comp.candidates.size(), v});
-    }
-  }
+  std::vector<Task> seeds = detail::build_components(graph, components);
 
   auto handler = [&](Task task, auto& ctx) {
     const auto claimed = static_cast<VertexId>(task.payload);
@@ -150,17 +164,27 @@ MstResult parallel_boruvka(const Graph& graph, S& sched,
 
   RunResult run = run_parallel(sched, std::span<const Task>(seeds), handler,
                                num_threads, exec);
-  return MstResult{total_weight.load(), forest_edges.load(), run};
+  // Relaxed is enough: run_parallel joined every worker, and the joins
+  // already ordered all task-side fetch_adds before these reads.
+  return MstResult{total_weight.load(std::memory_order_relaxed),
+                   forest_edges.load(std::memory_order_relaxed), run};
 }
 
 /// Merge component `b` into `a` (both locked, both roots), record the
 /// connecting edge, and reschedule the survivor.
+///
+/// Analysis opt-out: the two locks are chosen dynamically through
+/// union-find roots (`components[uf.find(..)].value.lock`), an aliasing
+/// pattern Clang's lexical lock analysis cannot express. The caller
+/// (parallel_boruvka's handler, which *is* analyzed) holds both locks in
+/// id order for the duration of this call.
 template <typename Ctx>
 void merge_components(UnionFind& uf,
                       std::vector<Padded<detail::Component>>& components,
                       VertexId a, VertexId b, const Edge& connecting,
                       std::atomic<std::uint64_t>& total_weight,
-                      std::atomic<std::uint64_t>& forest_edges, Ctx& ctx) {
+                      std::atomic<std::uint64_t>& forest_edges,
+                      Ctx& ctx) SMQ_NO_THREAD_SAFETY_ANALYSIS {
   auto& ca = components[a].value.candidates;
   auto& cb = components[b].value.candidates;
   // Survivor = larger candidate list (small-into-large keeps total merge

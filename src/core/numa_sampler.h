@@ -111,6 +111,8 @@ class QueueSampler {
   std::size_t num_queues_;
   bool weighted_ = false;
   std::vector<NodeGroup> per_node_;
+  // smq-lint: no-pad written once in the ctor, concurrent reads only —
+  // read-shared cache lines do not ping-pong
   std::vector<unsigned> thread_node_;
   std::vector<unsigned> queue_node_;
 };

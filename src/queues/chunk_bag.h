@@ -31,6 +31,7 @@
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/spinlock.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -140,8 +141,8 @@ class ChunkBag {
 
   /// Pop a chunk, preferring `node`'s own stack; steals round-robin from
   /// the other nodes' stacks when the local one is empty. In Treiber
-  /// mode the caller must be pinned.
-  Chunk* pop_chunk(unsigned node) noexcept {
+  /// mode the caller must be pinned (lint-enforced via the marker).
+  Chunk* pop_chunk(unsigned node) noexcept SMQ_REQUIRES_PIN {
     const unsigned n = static_cast<unsigned>(stacks_.size());
     for (unsigned k = 0; k < n; ++k) {
       NodeStack& stack = stacks_[(node + k) % n].value;

@@ -15,6 +15,7 @@
 #include "support/padding.h"
 #include "support/rng.h"
 #include "support/spinlock.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -97,12 +98,16 @@ class LockedQueueArray {
  private:
   struct Queue {
     Spinlock lock;
-    DAryHeap<Task, 4> heap;
+    // The heap is plain data: every touch must hold `lock`, and
+    // -Wthread-safety proves it. top_priority/size stay lock-free
+    // atomics — they are the published snapshot read without the lock.
+    DAryHeap<Task, 4> heap SMQ_GUARDED_BY(lock);
     std::atomic<std::uint64_t> top_priority{Task::kInfinity};
     std::atomic<std::int64_t> size{0};
   };
 
-  static void publish(Queue& q, std::int64_t delta) noexcept {
+  static void publish(Queue& q, std::int64_t delta) noexcept
+      SMQ_REQUIRES(q.lock) {
     q.size.fetch_add(delta, std::memory_order_relaxed);
     q.top_priority.store(
         q.heap.empty() ? Task::kInfinity : q.heap.top().priority,

@@ -38,6 +38,7 @@
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -78,7 +79,7 @@ class LockFreeSkipList {
   EpochManager* epochs() const noexcept { return epochs_; }
 
   /// Insert a task. Duplicates allowed. Height drawn from tid's RNG.
-  void insert(unsigned tid, Task task, Xoshiro256& rng) {
+  void insert(unsigned tid, Task task, Xoshiro256& rng) SMQ_REQUIRES_PIN {
     const int height = random_height(rng);
     Node* fresh = allocate(tid, task, height);
 
@@ -124,7 +125,7 @@ class LockFreeSkipList {
 
   /// Exact delete-min: mark and return the first live node's task.
   /// `tid` owns any retirement triggered by the helping unlink.
-  std::optional<Task> pop_min(unsigned tid = 0) {
+  std::optional<Task> pop_min(unsigned tid = 0) SMQ_REQUIRES_PIN {
     while (true) {
       Node* node = strip(head_->next[0].load(std::memory_order_acquire));
       while (node != nullptr &&
@@ -143,7 +144,8 @@ class LockFreeSkipList {
   /// Claim one specific node starting from `start` at level 0: walk
   /// forward over marked nodes and try to mark the first live one, for at
   /// most `attempts` candidates. Used by the spray.
-  std::optional<Task> pop_from(Node* start, int attempts, unsigned tid = 0) {
+  std::optional<Task> pop_from(Node* start, int attempts,
+                               unsigned tid = 0) SMQ_REQUIRES_PIN {
     Node* node = start;
     while (node != nullptr && attempts-- > 0) {
       Node* next = node->next[0].load(std::memory_order_acquire);
@@ -167,7 +169,7 @@ class LockFreeSkipList {
   }
 
   /// Live-node count — O(n), test/debug only.
-  std::size_t count_live() const {
+  std::size_t count_live() const SMQ_REQUIRES_PIN {
     std::size_t count = 0;
     for (Node* node = strip(head_->next[0].load(std::memory_order_acquire));
          node != nullptr;
@@ -194,7 +196,8 @@ class LockFreeSkipList {
   /// Spray walk (SprayList [6]): descend from `start_level`, jumping a
   /// uniformly random number of nodes in [0, max_jump] per level, landing
   /// on a node in a prefix of size roughly O(T log^3 T).
-  Node* spray(int start_level, int max_jump, Xoshiro256& rng) const {
+  Node* spray(int start_level, int max_jump,
+              Xoshiro256& rng) const SMQ_REQUIRES_PIN {
     Node* node = head_;
     for (int level = std::min(start_level, kMaxLevel - 1); level >= 0;
          --level) {
@@ -296,7 +299,8 @@ class LockFreeSkipList {
   /// Search for `task`, returning preds/succs per level; physically
   /// unlinks marked nodes encountered on the way (Harris helping).
   /// `tid` owns retirements of nodes this call fully unlinks.
-  void find(unsigned tid, const Task& task, Node** preds, Node** succs) {
+  void find(unsigned tid, const Task& task, Node** preds,
+            Node** succs) SMQ_REQUIRES_PIN {
   retry:
     Node* pred = head_;
     for (int level = kMaxLevel - 1; level >= 0; --level) {
@@ -333,7 +337,7 @@ class LockFreeSkipList {
   }
 
   /// Physically unlink a marked node (by key) via a full find().
-  void unlink(unsigned tid, const Task& task) {
+  void unlink(unsigned tid, const Task& task) SMQ_REQUIRES_PIN {
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     find(tid, task, preds, succs);

@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -32,7 +31,9 @@
 #include "sched/stats.h"
 #include "sched/task.h"
 #include "sched/topology.h"
+#include "support/mutex.h"
 #include "support/padding.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -238,8 +239,8 @@ class Obim {
     return shift >= 64 ? 0 : (priority >> shift) << shift;
   }
 
-  ChunkBag* bag_of(std::uint64_t level) {
-    std::lock_guard<std::mutex> guard(map_mutex_);
+  ChunkBag* bag_of(std::uint64_t level) SMQ_EXCLUDES(map_mutex_) {
+    MutexLock guard(map_mutex_);
     auto [it, inserted] = levels_.try_emplace(level, nullptr);
     if (inserted) {
       // Every level's bag shares the scheduler-wide epoch manager.
@@ -275,8 +276,8 @@ class Obim {
   }
 
   /// Returns true if the mirror changed.
-  bool refresh_mirror(Local& local) {
-    std::lock_guard<std::mutex> guard(map_mutex_);
+  bool refresh_mirror(Local& local) SMQ_EXCLUDES(map_mutex_) {
+    MutexLock guard(map_mutex_);
     const std::uint64_t version = version_.load(std::memory_order_relaxed);
     if (version == local.mirror_version && !local.mirror.empty()) return false;
     local.mirror.clear();
@@ -345,8 +346,11 @@ class Obim {
   ChunkAlloc alloc_;
   std::unique_ptr<EpochManager> epochs_;
 
-  std::mutex map_mutex_;
-  std::map<std::uint64_t, std::unique_ptr<ChunkBag>> levels_;
+  Mutex map_mutex_;
+  // The level map is plain data under map_mutex_; threads read it
+  // through their lock-free mirrors, refreshed when version_ moves.
+  std::map<std::uint64_t, std::unique_ptr<ChunkBag>> levels_
+      SMQ_GUARDED_BY(map_mutex_);
   std::atomic<std::uint64_t> version_{1};
 };
 

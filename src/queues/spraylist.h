@@ -27,6 +27,7 @@
 #include "sched/task.h"
 #include "support/padding.h"
 #include "support/rng.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -128,7 +129,7 @@ class SprayList {
   bool empty() const noexcept { return list_.empty(); }
 
  private:
-  std::optional<Task> pop_pinned(unsigned tid) {
+  std::optional<Task> pop_pinned(unsigned tid) SMQ_REQUIRES_PIN {
     Xoshiro256& rng = rngs_[tid].value;
     if (num_threads_ == 1) return list_.pop_min(tid);
     // A few spray attempts, then fall back to exact delete-min so the

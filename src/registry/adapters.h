@@ -29,6 +29,7 @@
 #include "support/padding.h"
 #include "support/rng.h"
 #include "support/spinlock.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -53,33 +54,29 @@ class GlobalHeapScheduler {
         : sched_(&sched), tid_(tid) {}
 
     void push(Task task) {
-      Spinlock& lock = sched_->lock_;
-      lock.lock();
+      sched_->lock_.lock();
       sched_->heap_.push(task);
-      lock.unlock();
+      sched_->lock_.unlock();
     }
 
     /// Bulk insert under one lock acquisition — for the global-lock
     /// anchor this is exactly the contention reduction batching buys.
     void push_batch(std::span<const Task> tasks) {
-      Spinlock& lock = sched_->lock_;
-      lock.lock();
+      sched_->lock_.lock();
       for (const Task& task : tasks) sched_->heap_.push(task);
-      lock.unlock();
+      sched_->lock_.unlock();
     }
 
     std::optional<Task> try_pop() {
-      Spinlock& lock = sched_->lock_;
-      lock.lock();
+      sched_->lock_.lock();
       std::optional<Task> task = sched_->heap_.try_pop();
-      lock.unlock();
+      sched_->lock_.unlock();
       return task;
     }
 
     /// Bulk extract under one lock acquisition.
     std::size_t try_pop_batch(std::vector<Task>& out, std::size_t max) {
-      Spinlock& lock = sched_->lock_;
-      lock.lock();
+      sched_->lock_.lock();
       std::size_t taken = 0;
       while (taken < max) {
         std::optional<Task> task = sched_->heap_.try_pop();
@@ -87,7 +84,7 @@ class GlobalHeapScheduler {
         out.push_back(*task);
         ++taken;
       }
-      lock.unlock();
+      sched_->lock_.unlock();
       return taken;
     }
 
@@ -115,7 +112,7 @@ class GlobalHeapScheduler {
  private:
   unsigned num_threads_;
   Spinlock lock_;
-  DAryHeap<Task, 4> heap_;
+  DAryHeap<Task, 4> heap_ SMQ_GUARDED_BY(lock_);
 };
 
 static_assert(HandleScheduler<GlobalHeapScheduler>);

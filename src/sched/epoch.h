@@ -100,9 +100,13 @@ class EpochManager {
     if (slot.depth++ > 0) return;
     std::uint64_t epoch = global_.load(std::memory_order_relaxed);
     while (true) {
-      // seq_cst store + seq_cst reload: either the collector's scan
-      // sees our slot, or we see the advanced epoch and re-publish.
+      // seq_cst store + seq_cst reload: the store-load (Dekker) fence
+      // against try_advance's scan — either the collector's scan sees
+      // our slot, or we see the advanced epoch and re-publish. Neither
+      // acq_rel nor release orders a store before a later load.
+      // smq-lint: seq-cst pin publish must precede the global re-check
       slot.epoch.store(epoch, std::memory_order_seq_cst);
+      // smq-lint: seq-cst second half of the store-load fence
       const std::uint64_t now = global_.load(std::memory_order_seq_cst);
       if (now == epoch) return;
       epoch = now;
@@ -142,16 +146,29 @@ class EpochManager {
   /// Advance the global epoch by one if every pinned thread has caught
   /// up with it. Returns whether the epoch moved.
   bool try_advance() noexcept {
-    std::uint64_t epoch = global_.load(std::memory_order_seq_cst);
+    // Acquire is enough here: this load only picks the CAS's expected
+    // value. A stale read either fails the slot scan (advance is
+    // best-effort) or loses the CAS — never a wrongful advance.
+    std::uint64_t epoch = global_.load(std::memory_order_acquire);
     for (const auto& padded : slots_) {
+      // Scan side of the Dekker fence against pin(): a pin store the
+      // previous advance's CAS missed is ordered before that CAS in the
+      // seq_cst total order, so this scan is guaranteed to see it and
+      // hold the epoch — the two-advance grace period depends on it.
+      // smq-lint: seq-cst scan must observe any pin the last CAS missed
       const std::uint64_t seen =
           padded.value.epoch.load(std::memory_order_seq_cst);
       if (seen != kQuiescent && seen != epoch) return false;
     }
     // A lost CAS means someone else advanced past us — also progress.
+    // The success order stays seq_cst: the proof that a concurrently
+    // pinning thread re-checks the new epoch orders its slot store
+    // before this CAS in the seq_cst total order, which requires the
+    // CAS itself to participate in that order.
+    // smq-lint: seq-cst CAS anchors the pin store-load fence ordering
     global_.compare_exchange_strong(epoch, epoch + 1,
                                     std::memory_order_seq_cst,
-                                    std::memory_order_seq_cst);
+                                    std::memory_order_relaxed);
     return true;
   }
 

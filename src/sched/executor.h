@@ -224,6 +224,8 @@ RunResult run_parallel(S& sched, std::span<const Task> initial, Fn fn,
   // covers the whole seeding pass (for AnyScheduler this is also one
   // erased-handle allocation per tid instead of one virtual per push).
   {
+    // smq-lint: no-pad seeding runs on this one thread only; workers
+    // construct their own handles on their own stacks below
     std::vector<HandleOf<S>> handles;
     handles.reserve(num_threads);
     for (unsigned tid = 0; tid < num_threads; ++tid) {

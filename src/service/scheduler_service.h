@@ -60,7 +60,9 @@
 #include "sched/task.h"
 #include "service/query.h"
 #include "service/versioned_labels.h"
+#include "support/mutex.h"
 #include "support/spinlock.h"
+#include "support/thread_annotations.h"
 
 namespace smq {
 
@@ -95,7 +97,7 @@ class SchedulerService final : public QueryService {
   SchedulerService& operator=(const SchedulerService&) = delete;
 
   void start() override {
-    std::lock_guard lifecycle(lifecycle_mutex_);
+    MutexLock lifecycle(lifecycle_mutex_);
     if (!threads_.empty()) return;  // already running
     if (stopped_) {
       throw std::logic_error(
@@ -108,9 +110,9 @@ class SchedulerService final : public QueryService {
   }
 
   void stop() override {
-    std::lock_guard lifecycle(lifecycle_mutex_);
+    MutexLock lifecycle(lifecycle_mutex_);
     {
-      std::lock_guard lk(mutex_);
+      MutexLock lk(mutex_);
       accepting_ = false;
       stop_ = true;
     }
@@ -127,7 +129,7 @@ class SchedulerService final : public QueryService {
   }
 
   bool accepting() const override {
-    std::lock_guard lk(mutex_);
+    MutexLock lk(mutex_);
     return accepting_;
   }
 
@@ -141,7 +143,7 @@ class SchedulerService final : public QueryService {
       // Degenerate query: answer immediately instead of flooding the
       // scheduler with a search whose incumbent can never prune.
       {
-        std::lock_guard lk(mutex_);
+        MutexLock lk(mutex_);
         if (!accepting_) {
           throw std::runtime_error("SchedulerService: submit after stop");
         }
@@ -156,7 +158,7 @@ class SchedulerService final : public QueryService {
       return ticket;
     }
     {
-      std::lock_guard lk(mutex_);
+      MutexLock lk(mutex_);
       if (!accepting_) {
         throw std::runtime_error("SchedulerService: submit after stop");
       }
@@ -325,23 +327,28 @@ class SchedulerService final : public QueryService {
         std::this_thread::yield();
         continue;
       }
-      // Nothing runnable and nothing admissible: park. The predicate
-      // mirrors every wake source — shutdown, new in-flight work, or an
-      // admissible (queued query x free lane) pair.
+      // Nothing runnable and nothing admissible: park. The wait
+      // predicate mirrors every wake source — shutdown, new in-flight
+      // work, or an admissible (queued query x free lane) pair — and is
+      // written as an inline loop (not a wait(lk, pred) lambda) so the
+      // thread-safety analysis sees the guarded reads under the held
+      // capability.
       //
       // Parking is the reclamation quiesce point: with no epoch guard
       // held, let the scheduler advance its epoch and drain this
       // thread's retire list, so memory from the last burst is
       // reclaimed even if the service then sits idle.
       quiesce_if_supported(sched_, handle.thread_id());
-      std::unique_lock lk(mutex_);
-      cv_.wait(lk, [&] {
-        return stop_ || pending_.load(std::memory_order_acquire) != 0 ||
-               (!queue_.empty() && !free_lanes_.empty());
-      });
-      if (stop_ && queue_.empty() &&
-          pending_.load(std::memory_order_acquire) == 0) {
-        return;
+      {
+        MutexLock lk(mutex_);
+        while (!(stop_ || pending_.load(std::memory_order_acquire) != 0 ||
+                 (!queue_.empty() && !free_lanes_.empty()))) {
+          cv_.wait(lk);
+        }
+        if (stop_ && queue_.empty() &&
+            pending_.load(std::memory_order_acquire) == 0) {
+          return;
+        }
       }
       backoff.reset();
     }
@@ -404,7 +411,7 @@ class SchedulerService final : public QueryService {
     latency_.record_seconds(c.result.latency_seconds);
     queries_completed_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard lk(mutex_);
+      MutexLock lk(mutex_);
       lane.job.store(nullptr, std::memory_order_relaxed);
       c.job = std::move(lane.owner);
       free_lanes_.push_back(job.lane);
@@ -419,27 +426,27 @@ class SchedulerService final : public QueryService {
   bool try_admit(H& handle, ThreadStats& stats, std::vector<Task>& seeds) {
     if (queued_.load(std::memory_order_relaxed) == 0) return false;
     seeds.clear();
-    {
-      std::unique_lock lk(mutex_, std::try_to_lock);
-      if (!lk.owns_lock()) return false;
-      while (!queue_.empty() && !free_lanes_.empty()) {
-        std::shared_ptr<Job> job = std::move(queue_.front());
-        queue_.pop_front();
-        queued_.fetch_sub(1, std::memory_order_relaxed);
-        const unsigned lane_id = free_lanes_.back();
-        free_lanes_.pop_back();
-        Lane& lane = *lanes_[lane_id];
-        job->lane = lane_id;
-        job->epoch = lane.labels.new_epoch();
-        lane.labels.store(job->query.source, 0, job->epoch);
-        job->pending.store(1, std::memory_order_relaxed);
-        seeds.push_back(Task{heuristic(job->query.source, job->query.target),
-                             payload_of(lane_id, job->query.source)});
-        Job* raw = job.get();
-        lane.owner = std::move(job);
-        lane.job.store(raw, std::memory_order_release);
-      }
+    // Explicit try_lock/unlock (rather than a scoped guard) so the
+    // try-acquire branch is visible to the thread-safety analysis.
+    if (!mutex_.try_lock()) return false;
+    while (!queue_.empty() && !free_lanes_.empty()) {
+      std::shared_ptr<Job> job = std::move(queue_.front());
+      queue_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      const unsigned lane_id = free_lanes_.back();
+      free_lanes_.pop_back();
+      Lane& lane = *lanes_[lane_id];
+      job->lane = lane_id;
+      job->epoch = lane.labels.new_epoch();
+      lane.labels.store(job->query.source, 0, job->epoch);
+      job->pending.store(1, std::memory_order_relaxed);
+      seeds.push_back(Task{heuristic(job->query.source, job->query.target),
+                           payload_of(lane_id, job->query.source)});
+      Job* raw = job.get();
+      lane.owner = std::move(job);
+      lane.job.store(raw, std::memory_order_release);
     }
+    mutex_.unlock();
     if (seeds.empty()) return false;
     // Counter before visibility, exactly like BatchWorkContext::flush.
     stats.pushes += seeds.size();
@@ -455,7 +462,7 @@ class SchedulerService final : public QueryService {
   /// check and its wait — without it the wake could fall in that window
   /// and be lost.
   void wake_all() {
-    { std::lock_guard lk(mutex_); }
+    { MutexLock lk(mutex_); }
     cv_.notify_all();
   }
 
@@ -474,16 +481,20 @@ class SchedulerService final : public QueryService {
   std::atomic<std::uint64_t> queries_completed_{0};
   std::atomic<std::uint64_t> queued_{0};  // lock-free mirror of queue_.size()
 
-  mutable std::mutex mutex_;  // admission queue, free lanes, lifecycle flags
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::vector<unsigned> free_lanes_;
-  bool accepting_ = true;
-  bool stop_ = false;
+  // Admission queue, free lanes, and run-state flags: plain data under
+  // mutex_, with -Wthread-safety proving every access holds it. The
+  // condition variable is the _any flavour because it parks on the
+  // annotated MutexLock directly.
+  mutable Mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::shared_ptr<Job>> queue_ SMQ_GUARDED_BY(mutex_);
+  std::vector<unsigned> free_lanes_ SMQ_GUARDED_BY(mutex_);
+  bool accepting_ SMQ_GUARDED_BY(mutex_) = true;
+  bool stop_ SMQ_GUARDED_BY(mutex_) = false;
 
-  std::mutex lifecycle_mutex_;  // serializes start()/stop() callers
-  bool stopped_ = false;
-  std::vector<std::jthread> threads_;
+  Mutex lifecycle_mutex_;  // serializes start()/stop() callers
+  bool stopped_ SMQ_GUARDED_BY(lifecycle_mutex_) = false;
+  std::vector<std::jthread> threads_ SMQ_GUARDED_BY(lifecycle_mutex_);
 };
 
 }  // namespace smq

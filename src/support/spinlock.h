@@ -10,6 +10,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "support/thread_annotations.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -23,6 +25,8 @@ inline void cpu_relax() noexcept {
 #elif defined(__aarch64__)
   asm volatile("yield" ::: "memory");
 #else
+  // smq-lint: seq-cst compiler-only fence (no hardware barrier); the
+  // portable fallback just pins the spin-loop read in program order.
   std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
 }
@@ -44,26 +48,30 @@ class Backoff {
   std::uint32_t limit_;
 };
 
-/// TTAS spinlock. Not reentrant.
-class Spinlock {
+/// TTAS spinlock. Not reentrant. Annotated as a thread-safety capability
+/// so `-Wthread-safety` checks acquire/release pairing and SMQ_GUARDED_BY
+/// data at compile time.
+class SMQ_CAPABILITY("spinlock") Spinlock {
  public:
   Spinlock() = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept SMQ_TRY_ACQUIRE(true) {
     // Cheap read first: avoids a cache-line invalidation storm when the
     // lock is held (the dominant case under Multi-Queue contention).
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void lock() noexcept {
+  void lock() noexcept SMQ_ACQUIRE() {
     Backoff backoff;
     while (!try_lock()) backoff.pause();
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept SMQ_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
   bool is_locked() const noexcept {
     return locked_.load(std::memory_order_relaxed);

@@ -1,0 +1,72 @@
+// Clang thread-safety analysis annotations (no-ops elsewhere).
+//
+// These macros attach capability semantics to the repo's lock types and
+// lock-protected data, so `clang++ -Wthread-safety` (the SMQ_THREAD_SAFETY
+// CMake option promotes it to an error) proves lock discipline at compile
+// time: every access to a SMQ_GUARDED_BY member must happen with its
+// capability held, every SMQ_ACQUIRE has a matching SMQ_RELEASE on every
+// path, and SMQ_REQUIRES obligations propagate to callers. The macro
+// shapes follow the canonical LLVM/abseil thread_annotations.h so the
+// analysis-side behaviour is the well-tested one.
+//
+// SMQ_REQUIRES_PIN is different in kind: it is a *lint* marker, not a
+// compiler attribute. Functions that dereference epoch-protected nodes
+// (see sched/epoch.h) carry it, and tools/concurrency_lint.py enforces
+// that every call site either sits inside an EpochManager::Guard scope
+// or is itself marked (pushing the obligation to its callers) — the
+// EBR analogue of SMQ_REQUIRES, checked lexically because no compiler
+// models reclamation pins.
+#pragma once
+
+#if defined(__clang__) && !defined(SMQ_NO_THREAD_SAFETY_ANNOTATIONS)
+#define SMQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SMQ_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lock) the analysis can track.
+#define SMQ_CAPABILITY(x) SMQ_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SMQ_SCOPED_CAPABILITY SMQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define SMQ_GUARDED_BY(x) SMQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* requires the capability.
+#define SMQ_PT_GUARDED_BY(x) SMQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capabilities held on entry (and keeps them).
+#define SMQ_REQUIRES(...) \
+  SMQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability; it must not already be held.
+#define SMQ_ACQUIRE(...) SMQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability; it must be held on entry.
+#define SMQ_RELEASE(...) SMQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value that signals success.
+#define SMQ_TRY_ACQUIRE(...) \
+  SMQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called with the capabilities *not* held (deadlock
+/// documentation for non-reentrant locks acquired inside).
+#define SMQ_EXCLUDES(...) SMQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its data.
+#define SMQ_RETURN_CAPABILITY(x) SMQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: skip analysis of one function body. Use only where the
+/// analysis cannot express a correct pattern (e.g. locks selected
+/// dynamically through union-find roots) and say why in a comment.
+#define SMQ_NO_THREAD_SAFETY_ANALYSIS \
+  SMQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Lint-only marker (expands to nothing for every compiler): the function
+/// dereferences nodes that a concurrent thread may epoch-retire, so its
+/// caller must hold an EpochManager::Guard (or be marked itself).
+/// Enforced by tools/concurrency_lint.py, rule `pin`.
+#define SMQ_REQUIRES_PIN

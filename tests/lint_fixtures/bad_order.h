@@ -1,0 +1,19 @@
+// Fixture: atomic load without an explicit memory order — must trip
+// the [order] rule.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  long read() const { return hits_.load(); }  // implicit seq_cst
+
+ private:
+  mutable std::atomic<long> hits_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: operator form on an atomic (implicit seq_cst) — must trip
+// the [order] rule.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() { hits_++; }  // implicit seq_cst RMW
+
+ private:
+  std::atomic<long> hits_{0};
+};
+
+}  // namespace fixture

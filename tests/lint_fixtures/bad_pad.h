@@ -1,0 +1,23 @@
+// Fixture: per-thread slots without padding — adjacent slots share a
+// cache line and ping-pong under write traffic. Must trip [pad].
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+struct Slot {
+  long hits = 0;
+};
+
+class Tracker {
+ public:
+  explicit Tracker(unsigned num_threads) : slots_(num_threads) {}
+
+  void bump(unsigned tid) { ++slots_[tid].hits; }
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace fixture

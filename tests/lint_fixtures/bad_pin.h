@@ -1,0 +1,24 @@
+// Fixture: SMQ_REQUIRES_PIN call with no Guard in scope — must trip the
+// [pin] rule.
+#pragma once
+
+struct EpochManager {
+  struct Guard {
+    Guard(EpochManager*, unsigned) {}
+  };
+};
+
+#define SMQ_REQUIRES_PIN
+
+namespace fixture {
+
+struct Bag {
+  int* pop_node(unsigned tid) SMQ_REQUIRES_PIN;
+};
+
+inline int drain(Bag& bag) {
+  int* node = bag.pop_node(0);  // unpinned dereference window
+  return node ? *node : 0;
+}
+
+}  // namespace fixture

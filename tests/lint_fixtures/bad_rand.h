@@ -1,0 +1,14 @@
+// Fixture: std::rand / wall-clock seeding — must trip the [rand] rule
+// (runs must reproduce from --seed).
+#pragma once
+
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+inline unsigned wall_clock_seed() {
+  return static_cast<unsigned>(std::time(nullptr));
+}
+
+}  // namespace fixture

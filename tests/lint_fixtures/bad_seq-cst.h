@@ -1,0 +1,17 @@
+// Fixture: seq_cst without a waiver comment — must trip the [seq-cst]
+// rule.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class Flag {
+ public:
+  void publish() { state_.store(1, std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<int> state_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: every atomic op states its memory order — must lint clean.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  long read() const { return hits_.load(std::memory_order_acquire); }
+
+  bool claim(long expected) {
+    return hits_.compare_exchange_strong(expected, expected + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::atomic<long> hits_{0};
+};
+
+}  // namespace fixture

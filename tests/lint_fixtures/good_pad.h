@@ -1,0 +1,28 @@
+// Fixture: per-thread slots wrapped in Padded<> — must lint clean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+template <typename T>
+struct Padded {
+  alignas(64) T value;
+};
+
+struct Slot {
+  long hits = 0;
+};
+
+class Tracker {
+ public:
+  explicit Tracker(unsigned num_threads) : slots_(num_threads) {}
+
+  void bump(unsigned tid) { ++slots_[tid].value.hits; }
+
+ private:
+  std::vector<Padded<Slot>> slots_;
+};
+
+}  // namespace fixture

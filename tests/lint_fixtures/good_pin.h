@@ -1,0 +1,25 @@
+// Fixture: SMQ_REQUIRES_PIN call inside an EpochManager::Guard scope —
+// must lint clean.
+#pragma once
+
+struct EpochManager {
+  struct Guard {
+    Guard(EpochManager*, unsigned) {}
+  };
+};
+
+#define SMQ_REQUIRES_PIN
+
+namespace fixture {
+
+struct Bag {
+  int* pop_node(unsigned tid) SMQ_REQUIRES_PIN;
+};
+
+inline int drain(Bag& bag, EpochManager* epochs) {
+  EpochManager::Guard guard(epochs, 0);
+  int* node = bag.pop_node(0);
+  return node ? *node : 0;
+}
+
+}  // namespace fixture

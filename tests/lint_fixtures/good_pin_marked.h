@@ -1,0 +1,25 @@
+// Fixture: a SMQ_REQUIRES_PIN function may call other marked functions
+// without its own Guard (the pin obligation moves to its callers) —
+// must lint clean.
+#pragma once
+
+struct EpochManager {
+  struct Guard {
+    Guard(EpochManager*, unsigned) {}
+  };
+};
+
+#define SMQ_REQUIRES_PIN
+
+namespace fixture {
+
+struct Bag {
+  int* pop_node(unsigned tid) SMQ_REQUIRES_PIN;
+
+  int drain_one(unsigned tid) SMQ_REQUIRES_PIN {
+    int* node = pop_node(tid);
+    return node ? *node : 0;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the rand ban can be waived with a reason — must lint clean.
+#pragma once
+
+#include <cstdlib>
+
+namespace fixture {
+
+inline int jitter() {
+  // smq-lint: rand-ok fixture demonstrating the waiver syntax
+  return std::rand() % 3;
+}
+
+}  // namespace fixture

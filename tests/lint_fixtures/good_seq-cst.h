@@ -1,0 +1,19 @@
+// Fixture: seq_cst with a written justification — must lint clean.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class Flag {
+ public:
+  void publish() {
+    // smq-lint: seq-cst store-load fence against the scanner thread
+    state_.store(1, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<int> state_{0};
+};
+
+}  // namespace fixture
