@@ -1,0 +1,44 @@
+// Catalog of the 9th DIMACS Implementation Challenge road networks the
+// paper evaluates on (Table 1), with their published sizes pinned.
+//
+// One definition shared by three consumers so the numbers cannot drift:
+// the registry's named road-graph sources (--graph usa/ctr/west/...),
+// bench_table1_graphs (paper-vs-measured validation), and
+// tools/fetch_dimacs.py's manifest (kept in sync by a test fixture of
+// the same numbers). The pinned |V|/|E| are the official challenge
+// values for the distance ("-d") graphs; a fetched file that disagrees
+// is truncated or corrupt, never "close enough".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace smq {
+
+struct DimacsGraphInfo {
+  const char* key;        // registry key / fetch tool name, e.g. "usa"
+  const char* file_stem;  // challenge file stem, e.g. "USA-road-d.USA"
+  std::uint64_t vertices;
+  std::uint64_t arcs;     // directed arcs, as the .gr header declares
+  const char* label;      // Table 1 row label
+};
+
+/// The paper's road inputs (USA, CTR, W) plus smaller challenge graphs
+/// (E, NY) that make local validation and CI smoke practical.
+std::span<const DimacsGraphInfo> dimacs_catalog();
+
+/// Catalog entry for `key` (case-sensitive), or nullptr.
+const DimacsGraphInfo* find_dimacs_graph(std::string_view key);
+
+/// "<dir>/<stem>.gr" for the entry — the path tools/fetch_dimacs.py
+/// decompresses to under its --graph-cache directory.
+std::string dimacs_gr_path(const DimacsGraphInfo& info, const std::string& dir);
+std::string dimacs_co_path(const DimacsGraphInfo& info, const std::string& dir);
+
+/// The directory named graph sources and benches look in when no --dir
+/// is given: $SMQ_GRAPH_DIR, or "data/dimacs/cache".
+std::string default_dimacs_dir();
+
+}  // namespace smq

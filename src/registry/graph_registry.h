@@ -48,12 +48,16 @@ class GraphRegistry : public NamedRegistry<GraphSourceEntry> {
 
   /// Like create(), but consult/populate a binary CSR cache under
   /// `cache_dir` (created if missing), keyed by a hash of (source name,
-  /// the entry's tunables as resolved from `params`). Repeated sweeps
-  /// over the same graph spec skip generation/parsing entirely; the
-  /// "binary" source itself is never re-cached. Cached instances carry
-  /// the source defaults for source/target/weight-scale metadata, which
-  /// is what every current source produces. An unreadable or stale cache
-  /// file falls back to regeneration and is overwritten.
+  /// binary format version, the entry's tunables as resolved from
+  /// `params`). Repeated sweeps over the same graph spec skip
+  /// generation/parsing entirely, and cache hits are memory-mapped
+  /// (page-in, not parse — the difference between seconds and minutes
+  /// on the 58M-arc USA graph); the "binary" source itself is never
+  /// re-cached. Cached instances carry the source defaults for
+  /// source/target metadata and honour a weight-scale tunable when the
+  /// source declares one. An unreadable or stale cache file (including
+  /// any v1 entry, whose key no longer matches) falls back to
+  /// regeneration and is overwritten in the current format.
   GraphInstance create_cached(std::string_view name, const ParamMap& params,
                               const std::string& cache_dir) const;
 };

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <span>
 #include <sstream>
+#include <utility>
 
 #include "graph/dimacs.h"
 #include "graph/generators.h"
@@ -44,6 +47,83 @@ TEST(Graph, ToEdgesRoundTrip) {
 TEST(Graph, IsolatedVerticesHaveNoNeighbors) {
   const Graph g = Graph::from_edges(5, {{0, 4, 1}});
   for (VertexId v = 1; v < 4; ++v) EXPECT_EQ(g.out_degree(v), 0u);
+}
+
+TEST(Graph, FromCsrMatchesFromEdges) {
+  const std::vector<Edge> edges{{0, 1, 10}, {0, 2, 20}, {1, 2, 30}, {2, 0, 40}};
+  const Graph a = Graph::from_edges(3, edges);
+  const Graph b = Graph::from_csr(
+      std::vector<std::size_t>(a.offsets().begin(), a.offsets().end()),
+      std::vector<Graph::Neighbor>(a.adjacency().begin(), a.adjacency().end()));
+  ASSERT_EQ(b.num_vertices(), a.num_vertices());
+  ASSERT_EQ(b.num_edges(), a.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(b.neighbors(v).size(), a.neighbors(v).size());
+    for (std::size_t i = 0; i < a.neighbors(v).size(); ++i) {
+      EXPECT_EQ(b.neighbors(v)[i].to, a.neighbors(v)[i].to);
+      EXPECT_EQ(b.neighbors(v)[i].weight, a.neighbors(v)[i].weight);
+    }
+  }
+  EXPECT_FALSE(b.is_mapped());
+}
+
+TEST(Graph, FromCsrRejectsMalformedInput) {
+  using Nbr = Graph::Neighbor;
+  // Empty offsets array (no implicit |V|=0 allowed).
+  EXPECT_THROW(Graph::from_csr({}, {}), std::invalid_argument);
+  // offsets[0] != 0.
+  EXPECT_THROW(Graph::from_csr({1, 1}, {Nbr{0, 1}}), std::invalid_argument);
+  // Non-monotonic offsets.
+  EXPECT_THROW(Graph::from_csr({0, 2, 1}, {Nbr{0, 1}}), std::invalid_argument);
+  // back() disagrees with adjacency size.
+  EXPECT_THROW(Graph::from_csr({0, 2}, {Nbr{0, 1}}), std::invalid_argument);
+  // Neighbor target out of range.
+  EXPECT_THROW(Graph::from_csr({0, 1}, {Nbr{5, 1}}), std::invalid_argument);
+}
+
+/// Build a "mapped" graph over heap arrays owned by a shared backing,
+/// mirroring what load_binary_graph_mmap produces without needing a file.
+Graph make_backed_graph() {
+  struct Backing {
+    std::vector<std::size_t> offsets{0, 2, 3, 3};
+    std::vector<Graph::Neighbor> adjacency{{1, 10}, {2, 20}, {2, 30}};
+  };
+  auto backing = std::make_shared<Backing>();
+  std::span<const std::size_t> off(backing->offsets);
+  std::span<const Graph::Neighbor> adj(backing->adjacency);
+  return Graph::from_mapped(off, adj, backing);
+}
+
+TEST(Graph, MappedGraphReadsThroughViews) {
+  const Graph g = make_backed_graph();
+  EXPECT_TRUE(g.is_mapped());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.neighbors(0)[1].weight, 20u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+}
+
+TEST(Graph, MappedCopySharesBackingAndOutlivesOriginal) {
+  Graph copy;
+  {
+    const Graph g = make_backed_graph();
+    copy = g;  // shares the backing shared_ptr, no deep copy
+  }
+  EXPECT_TRUE(copy.is_mapped());
+  EXPECT_EQ(copy.neighbors(1)[0].to, 2u);
+}
+
+TEST(Graph, OwnedCopyIsDeepAndMoveKeepsViewsValid) {
+  Graph a = Graph::from_edges(3, {{0, 1, 10}, {1, 2, 20}});
+  const Graph copy = a;
+  EXPECT_NE(copy.adjacency().data(), a.adjacency().data());
+
+  const Graph::Neighbor* before = a.adjacency().data();
+  const Graph moved = std::move(a);
+  // Vector moves keep heap buffers: views must follow the new owner.
+  EXPECT_EQ(moved.adjacency().data(), before);
+  EXPECT_EQ(moved.num_edges(), 2u);
+  EXPECT_EQ(moved.neighbors(1)[0].weight, 20u);
 }
 
 TEST(Generators, GridHasExpectedShape) {

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "algorithms/sssp.h"
+#include "graph/binary_io.h"
 #include "core/stealing_multiqueue.h"
 #include "graph/generators.h"
 #include "registry/algorithm_registry.h"
@@ -196,6 +198,106 @@ TEST(GraphRegistry, DimacsInlinePathShorthand) {
   EXPECT_THROW(GraphRegistry::instance().create("nope:file.gr", {}),
                std::invalid_argument);
   std::filesystem::remove(path);
+}
+
+// ---- graph cache ----------------------------------------------------------
+
+TEST(GraphRegistry, CacheMissWritesV2ThenHitMapsIt) {
+  const std::filesystem::path cache =
+      std::filesystem::temp_directory_path() / "smq_cache_test_v2";
+  std::filesystem::remove_all(cache);
+
+  ParamMap params;
+  params.set("vertices", "500");
+  params.set("seed", "11");
+  const GraphInstance first =
+      GraphRegistry::instance().create_cached("road", params, cache.string());
+  ASSERT_NE(first.graph, nullptr);
+  EXPECT_FALSE(first.graph->is_mapped());  // miss: freshly generated
+
+  // Exactly one cache file appeared, and it is a v2 image (version u32
+  // at byte 8).
+  std::size_t files = 0;
+  std::filesystem::path cache_file;
+  for (const auto& e : std::filesystem::directory_iterator(cache)) {
+    ++files;
+    cache_file = e.path();
+  }
+  ASSERT_EQ(files, 1u);
+  {
+    std::ifstream in(cache_file, std::ios::binary);
+    char header[12] = {};
+    in.read(header, sizeof header);
+    std::uint32_t version = 0;
+    std::memcpy(&version, header + 8, 4);
+    EXPECT_EQ(version, kBinaryFormatVersion);
+  }
+
+  const GraphInstance second =
+      GraphRegistry::instance().create_cached("road", params, cache.string());
+  ASSERT_NE(second.graph, nullptr);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(second.graph->is_mapped());  // hit: mmap, not parse
+#endif
+  ASSERT_EQ(second.graph->num_vertices(), first.graph->num_vertices());
+  ASSERT_EQ(second.graph->num_edges(), first.graph->num_edges());
+  for (VertexId v = 0; v < first.graph->num_vertices(); ++v) {
+    const auto a = first.graph->neighbors(v), b = second.graph->neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "degree differs at " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].to, b[i].to);
+      ASSERT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+  // Hits keep a stable name so perf-gate baselines match across runs.
+  EXPECT_EQ(second.name, "road(cached)");
+  // The road source's weight-scale must survive the cache hit (A*
+  // admissibility depends on it).
+  EXPECT_DOUBLE_EQ(second.weight_scale, first.weight_scale);
+
+  std::filesystem::remove_all(cache);
+}
+
+TEST(GraphRegistry, CorruptCacheFileRegenerates) {
+  const std::filesystem::path cache =
+      std::filesystem::temp_directory_path() / "smq_cache_test_corrupt";
+  std::filesystem::remove_all(cache);
+
+  ParamMap params;
+  params.set("vertices", "300");
+  const GraphInstance first =
+      GraphRegistry::instance().create_cached("road", params, cache.string());
+
+  // Trash the cache entry; the next call must regenerate, not throw.
+  for (const auto& e : std::filesystem::directory_iterator(cache)) {
+    std::ofstream out(e.path(), std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  const GraphInstance second =
+      GraphRegistry::instance().create_cached("road", params, cache.string());
+  ASSERT_NE(second.graph, nullptr);
+  EXPECT_EQ(second.graph->num_vertices(), first.graph->num_vertices());
+  EXPECT_EQ(second.graph->num_edges(), first.graph->num_edges());
+
+  std::filesystem::remove_all(cache);
+}
+
+TEST(GraphRegistry, RoadNetworkSourcesRegisteredAndGuideToFetch) {
+  // The five catalog road networks are registered as named sources…
+  for (const char* key : {"usa", "ctr", "west", "east", "ny"}) {
+    EXPECT_NE(GraphRegistry::instance().find(key), nullptr) << key;
+  }
+  // …and asking for one that is not fetched yet fails with a pointer to
+  // the fetch tool, not a bare ENOENT.
+  ParamMap params;
+  params.set("dir", "/nonexistent/dimacs");
+  try {
+    GraphRegistry::instance().create("west", params);
+    FAIL() << "expected a missing-graph error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("fetch_dimacs.py"), std::string::npos)
+        << "error should mention the fetch tool: " << e.what();
+  }
 }
 
 // ---- algorithm registry ---------------------------------------------------

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Fetch 9th DIMACS Challenge road networks into the graph cache.
+
+Downloads the .gr (arcs) and .co (coordinates) files for the paper's
+Table 1 road inputs, checksum-pinned and integrity-checked, so the
+benches can run on the real USA/CTR/WEST graphs instead of synthetic
+stand-ins:
+
+    python3 tools/fetch_dimacs.py --graphs west --graph-cache data/dimacs/cache
+    ./build/smq_run --sched smq --algo sssp --graph west --graph-cache /tmp/bin
+
+Integrity model (SNIPPETS.md Snippet 1 discipline — pinned, reproducible
+external data):
+
+  1. The expected |V|/|E| of every graph are pinned in MANIFEST below
+     (mirroring src/graph/dimacs_catalog.cpp — tests/test_dimacs.cpp
+     keeps the two in sync). After decompression, the .gr header is
+     checked against them; a truncated or corrupt download fails here.
+  2. Archive sha256s are pinned on first use: the first successful fetch
+     records them in <cache>/CHECKSUMS.json, and every later fetch of
+     the same archive must match. Commit that file (or copy it into CI)
+     to pin across machines.
+
+Offline behavior: network failures exit 0 with a "SKIP (offline)"
+message so CI and bench scripts can call this unconditionally; pass
+--strict to turn them into errors. Checksum/size mismatches are always
+errors — a bad file is worse than a missing one.
+
+Exit codes: 0 ok or skipped-offline, 1 integrity failure, 2 usage error.
+Stdlib only (urllib + gzip); no pip dependencies.
+"""
+
+import argparse
+import gzip
+import hashlib
+import json
+import os
+import shutil
+import sys
+import urllib.error
+import urllib.request
+
+DEFAULT_BASE_URL = "http://www.diag.uniroma1.it/challenge9/data/USA-road-d"
+DEFAULT_CACHE = "data/dimacs/cache"
+
+# Pinned sizes (official 9th DIMACS Challenge values for the distance
+# graphs) — must mirror src/graph/dimacs_catalog.cpp.
+MANIFEST = {
+    "usa": {"stem": "USA-road-d.USA", "vertices": 23947347, "arcs": 58333344},
+    "ctr": {"stem": "USA-road-d.CTR", "vertices": 14081816, "arcs": 34292496},
+    "west": {"stem": "USA-road-d.W", "vertices": 6262104, "arcs": 15248146},
+    "east": {"stem": "USA-road-d.E", "vertices": 3598623, "arcs": 8778114},
+    "ny": {"stem": "USA-road-d.NY", "vertices": 264346, "arcs": 733846},
+}
+
+
+def checksums_path(cache):
+    return os.path.join(cache, "CHECKSUMS.json")
+
+
+def load_checksums(cache):
+    try:
+        with open(checksums_path(cache)) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def store_checksum(cache, archive, digest):
+    pins = load_checksums(cache)
+    pins[archive] = digest
+    with open(checksums_path(cache), "w") as f:
+        json.dump(pins, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def sha256_of(path):
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def gr_header_counts(path):
+    """(vertices, arcs) from the .gr problem line; (None, None) if absent."""
+    with open(path, "rb") as f:
+        for raw in f:
+            line = raw.decode("ascii", "replace").rstrip("\r\n")
+            if line.startswith("p sp "):
+                parts = line.split()
+                if len(parts) == 4:
+                    return int(parts[2]), int(parts[3])
+                return None, None
+            if line and not line.startswith("c"):
+                break
+    return None, None
+
+
+def verify_gr(path, spec, name):
+    v, a = gr_header_counts(path)
+    if (v, a) != (spec["vertices"], spec["arcs"]):
+        print(f"fetch_dimacs: FAIL {name}: {path} header declares "
+              f"{v}/{a} vertices/arcs, manifest pins "
+              f"{spec['vertices']}/{spec['arcs']}")
+        return False
+    return True
+
+
+def download(url, dest, timeout):
+    """Fetch url to dest atomically. Returns 'ok' | 'offline'."""
+    tmp = dest + ".part"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp, \
+                open(tmp, "wb") as out:
+            shutil.copyfileobj(resp, out, 1 << 20)
+    except (urllib.error.URLError, TimeoutError, ConnectionError, OSError) as e:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        print(f"fetch_dimacs: SKIP (offline): {url}: {e}")
+        return "offline"
+    os.replace(tmp, dest)
+    return "ok"
+
+
+def fetch_one(name, spec, args):
+    """Fetch + verify one graph. Returns 'ok' | 'offline' | 'fail'."""
+    cache = args.graph_cache
+    pins = load_checksums(cache)
+    result = "ok"
+    for ext in ("gr", "co"):
+        plain = os.path.join(cache, f"{spec['stem']}.{ext}")
+        if os.path.exists(plain) and not args.force:
+            if ext == "gr" and not verify_gr(plain, spec, name):
+                return "fail"
+            print(f"fetch_dimacs: {name}: {plain} present, skipping")
+            continue
+
+        archive_name = f"{spec['stem']}.{ext}.gz"
+        archive = os.path.join(cache, archive_name)
+        if not os.path.exists(archive) or args.force:
+            url = f"{args.base_url}/{archive_name}"
+            print(f"fetch_dimacs: {name}: downloading {url}")
+            status = download(url, archive, args.timeout)
+            if status == "offline":
+                return "offline"
+
+        digest = sha256_of(archive)
+        pinned = pins.get(archive_name)
+        if pinned is None:
+            # Trust-on-first-use: record the pin so every later fetch
+            # (and every other machine given this file) must match.
+            store_checksum(cache, archive_name, digest)
+            pins = load_checksums(cache)
+            print(f"fetch_dimacs: {name}: pinned sha256 {digest[:16]}... "
+                  f"for {archive_name}")
+        elif pinned != digest:
+            print(f"fetch_dimacs: FAIL {name}: sha256 mismatch for "
+                  f"{archive_name}: pinned {pinned[:16]}..., "
+                  f"got {digest[:16]}...")
+            return "fail"
+
+        print(f"fetch_dimacs: {name}: decompressing {archive}")
+        tmp = plain + ".part"
+        try:
+            with gzip.open(archive, "rb") as src, open(tmp, "wb") as out:
+                shutil.copyfileobj(src, out, 1 << 20)
+        except (OSError, EOFError) as e:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            print(f"fetch_dimacs: FAIL {name}: cannot decompress "
+                  f"{archive}: {e}")
+            return "fail"
+        os.replace(tmp, plain)
+
+        if ext == "gr" and not verify_gr(plain, spec, name):
+            return "fail"
+    return result
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--graphs", default="west",
+                    help="comma list of " + ",".join(MANIFEST) + " or 'all' "
+                         "(default: west)")
+    ap.add_argument("--graph-cache", default=DEFAULT_CACHE,
+                    help=f"download/decompress directory (default: "
+                         f"{DEFAULT_CACHE})")
+    ap.add_argument("--base-url", default=DEFAULT_BASE_URL,
+                    help="mirror to fetch from")
+    ap.add_argument("--timeout", type=float, default=60,
+                    help="per-request timeout in seconds")
+    ap.add_argument("--strict", action="store_true",
+                    help="network failures exit 1 instead of skipping")
+    ap.add_argument("--force", action="store_true",
+                    help="re-download and re-verify even if files exist")
+    ap.add_argument("--verify-only", action="store_true",
+                    help="only verify already-present files; no network")
+    ap.add_argument("--list", action="store_true",
+                    help="print the manifest and exit")
+    args = ap.parse_args()
+
+    if args.list:
+        for name, spec in MANIFEST.items():
+            print(f"{name:5s} {spec['stem']:18s} |V|={spec['vertices']:>10,} "
+                  f"|E|={spec['arcs']:>10,}")
+        return 0
+
+    names = list(MANIFEST) if args.graphs == "all" else \
+        [g for g in args.graphs.split(",") if g]
+    unknown = [g for g in names if g not in MANIFEST]
+    if unknown:
+        print(f"fetch_dimacs: unknown graph(s) {','.join(unknown)}; "
+              f"known: {','.join(MANIFEST)}", file=sys.stderr)
+        return 2
+
+    os.makedirs(args.graph_cache, exist_ok=True)
+
+    if args.verify_only:
+        ok = True
+        pins = load_checksums(args.graph_cache)
+        for name in names:
+            spec = MANIFEST[name]
+            plain = os.path.join(args.graph_cache, f"{spec['stem']}.gr")
+            if not os.path.exists(plain):
+                print(f"fetch_dimacs: {name}: {plain} absent")
+                continue
+            ok = verify_gr(plain, spec, name) and ok
+            # Re-hash any archives still on disk against their pins.
+            for ext in ("gr", "co"):
+                archive_name = f"{spec['stem']}.{ext}.gz"
+                archive = os.path.join(args.graph_cache, archive_name)
+                pinned = pins.get(archive_name)
+                if not os.path.exists(archive) or pinned is None:
+                    continue
+                digest = sha256_of(archive)
+                if digest != pinned:
+                    print(f"fetch_dimacs: FAIL {name}: sha256 mismatch for "
+                          f"{archive_name}: pinned {pinned[:16]}..., "
+                          f"got {digest[:16]}...")
+                    ok = False
+        return 0 if ok else 1
+
+    offline = failed = fetched = 0
+    for name in names:
+        status = fetch_one(name, MANIFEST[name], args)
+        if status == "offline":
+            offline += 1
+        elif status == "fail":
+            failed += 1
+        else:
+            fetched += 1
+
+    if failed:
+        print(f"fetch_dimacs: {failed} graph(s) FAILED integrity checks")
+        return 1
+    if offline:
+        print(f"fetch_dimacs: SKIP: {offline} graph(s) unavailable offline, "
+              f"{fetched} ok; benches fall back to synthetic graphs")
+        return 1 if args.strict else 0
+    print(f"fetch_dimacs: {fetched} graph(s) ready under {args.graph_cache}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
