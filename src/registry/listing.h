@@ -20,6 +20,11 @@ inline void print_tunables(std::ostream& os, const std::vector<Tunable>& ts) {
 
 inline void print_registry_listing(std::ostream& os) {
   os << "schedulers:\n";
+  // The pseudo-scheduler first: not a registry entry (it resolves to
+  // one), but it is a valid --sched value and must be discoverable.
+  os << "  auto - pick the preset the tuning metrics table measured best "
+        "for this\n         (graph class, algorithm, threads) — see smq_tune "
+        "and data/tuning/\n";
   for (const SchedulerEntry& e : SchedulerRegistry::instance().entries()) {
     os << "  " << e.name;
     if (e.max_threads == 1) os << " [single-threaded]";

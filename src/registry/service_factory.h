@@ -12,22 +12,34 @@
 #include "registry/graph_registry.h"
 #include "registry/params.h"
 #include "service/query.h"
+#include "tuning/auto_select.h"
 
 namespace smq {
+
+/// The algorithm `--sched auto` tunes a service for: the service runs
+/// point-to-point queries, which are A* when the graph carries
+/// coordinates and plain SSSP otherwise.
+std::string_view service_auto_algorithm(const GraphInstance& graph);
 
 /// Build a running service for `sched_name` x `threads` over `graph`.
 /// The worker count is clamped to the scheduler's thread capacity
 /// (effective_threads), the heuristic scale comes from the graph
 /// instance, and `params` reaches the scheduler factory untouched —
-/// presets resolve exactly as in a sweep. Throws std::invalid_argument
-/// on an unknown scheduler.
+/// presets resolve exactly as in a sweep. "auto" resolves through the
+/// tuning metrics table first (service_auto_algorithm picks the tuned
+/// algorithm; `selection`, when non-null, receives the provenance).
+/// Throws std::invalid_argument on an unknown scheduler.
 std::unique_ptr<QueryService> make_service(std::string_view sched_name,
                                            unsigned threads,
                                            const ParamMap& params,
                                            const GraphInstance& graph,
-                                           ServiceOptions opts = {});
+                                           ServiceOptions opts = {},
+                                           tuning::AutoSelection* selection = nullptr);
 
-/// The worker count make_service will actually run with.
+/// The worker count make_service will actually run with. For "auto"
+/// this is the requested count (every preset family the table can name
+/// is thread-capable; the resolved entry still clamps inside
+/// make_service).
 unsigned service_effective_threads(std::string_view sched_name,
                                    unsigned requested);
 

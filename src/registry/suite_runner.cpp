@@ -24,8 +24,12 @@ void print_sweep_table(std::ostream& os, const SweepReport& report) {
     const double speedup = ref != nullptr && row.result.run.seconds > 0
                                ? ref->seconds / row.result.run.seconds
                                : 0;
+    // Auto rows show the preset the table resolved, not just "auto" —
+    // the chosen config must be readable off the table.
+    const std::string label =
+        row.auto_selected ? row.label + ":" + row.scheduler : row.label;
     table.add_row(
-        {row.label, std::to_string(row.threads),
+        {label, std::to_string(row.threads),
          std::string(to_string(row.dispatch)),
          row.numa_grid ? row.numa.label() : report.params.get("numa", "-"),
          TablePrinter::fmt(row.result.run.seconds * 1e3),
@@ -79,6 +83,11 @@ void write_sweep_json(std::ostream& os, const SweepReport& report) {
     json.begin_object();
     json.member("scheduler", row.label);
     if (row.label != row.scheduler) json.member("preset", row.scheduler);
+    if (row.auto_selected) {
+      json.member("auto", true);
+      json.member("auto_match", row.auto_match);
+      json.member("auto_why", row.auto_why);
+    }
     if (!row.row_params.entries().empty()) {
       json.key("params").begin_object();
       for (const auto& [key, value] : row.row_params.entries()) {

@@ -159,7 +159,12 @@ void print_service_table(std::ostream& os, const ServiceReport& report) {
                       "qps", "p50 ms", "p90 ms", "p99 ms", "tasks", "wasted",
                       "mem KiB", "speedup", "ok"});
   for (const ServiceRow& row : report.rows) {
-    table.add_row({row.scheduler, mode_label(row), std::to_string(row.threads),
+    // Auto rows show the resolved preset next to "auto" — the chosen
+    // config must be readable off the table.
+    const std::string label = !row.preset.empty() && row.preset != row.scheduler
+                                  ? row.scheduler + ":" + row.preset
+                                  : row.scheduler;
+    table.add_row({label, mode_label(row), std::to_string(row.threads),
                    row.spawn_baseline ? "-" : std::to_string(row.lanes),
                    std::to_string(row.queries),
                    TablePrinter::fmt(row.seconds * 1e3),
@@ -218,6 +223,14 @@ void write_service_json(std::ostream& os, const ServiceReport& report) {
   for (const ServiceRow& row : report.rows) {
     json.begin_object();
     json.member("scheduler", row.scheduler);
+    if (!row.preset.empty() && row.preset != row.scheduler) {
+      json.member("preset", row.preset);
+    }
+    if (!row.auto_match.empty()) {
+      json.member("auto", true);
+      json.member("auto_match", row.auto_match);
+      json.member("auto_why", row.auto_why);
+    }
     json.member("threads", row.threads);
     json.member("dispatch",
                 row.spawn_baseline ? "spawn-per-query" : "service");

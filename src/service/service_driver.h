@@ -91,6 +91,11 @@ struct ServiceRow {
   bool valid = true;
   double speedup_vs_seq = 0;
   int reps = 1;
+  // `--sched auto` provenance: the preset the tuning table resolved
+  // (scheduler stays "auto"), its match kind, and the explanation.
+  std::string preset;
+  std::string auto_match;
+  std::string auto_why;
 };
 
 /// Fill the measurement half of `row` from a drive: throughput, latency

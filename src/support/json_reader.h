@@ -1,0 +1,359 @@
+// Minimal JSON parser, the read-side counterpart of json_writer.h.
+//
+// Dependency-free on purpose (same policy as cli.h / json_writer.h):
+// the tuning table and bench baselines only need objects, arrays,
+// strings, finite numbers, booleans and null. Objects preserve member
+// order (vector of pairs, linear lookup) — tables are small and
+// deterministic round-trips matter more than O(1) access.
+//
+// Errors throw std::runtime_error with a line:column position.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smq {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parse a complete JSON document; trailing non-whitespace is an error.
+  static JsonValue parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const {
+    require(Type::kBool, "bool");
+    return bool_;
+  }
+  double as_double() const {
+    require(Type::kNumber, "number");
+    return number_;
+  }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_double()); }
+  std::uint64_t as_uint() const {
+    const double v = as_double();
+    if (v < 0) throw std::runtime_error("json: negative value where unsigned expected");
+    return static_cast<std::uint64_t>(v);
+  }
+  const std::string& as_string() const {
+    require(Type::kString, "string");
+    return string_;
+  }
+
+  const std::vector<JsonValue>& items() const {
+    require(Type::kArray, "array");
+    return array_;
+  }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    require(Type::kObject, "object");
+    return object_;
+  }
+
+  std::size_t size() const {
+    return is_array() ? array_.size() : members().size();
+  }
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Object member by key; throws naming the missing key.
+  const JsonValue& at(std::string_view key) const {
+    if (const JsonValue* v = find(key)) return *v;
+    throw std::runtime_error("json: missing member \"" + std::string(key) + '"');
+  }
+
+  /// Typed member lookups with defaults, for optional table fields.
+  double get_double(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v && v->is_number() ? v->number_ : fallback;
+  }
+  std::uint64_t get_uint(std::string_view key, std::uint64_t fallback) const {
+    const JsonValue* v = find(key);
+    return v && v->is_number() ? v->as_uint() : fallback;
+  }
+  std::string get_string(std::string_view key, std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v && v->is_string() ? v->string_ : std::move(fallback);
+  }
+
+ private:
+  void require(Type t, const char* what) const {
+    if (type_ != t) {
+      throw std::runtime_error(std::string("json: expected ") + what);
+    }
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+/// Recursive-descent parser over a string_view; not exposed directly,
+/// use JsonValue::parse.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return parse_string_value();
+      case 't': expect_word("true"); return make_bool(true);
+      case 'f': expect_word("false"); return make_bool(false);
+      case 'n': expect_word("null"); return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string_raw();
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after key");
+      ++pos_;
+      v.object_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char sep = peek();
+      if (sep == ',') {
+        ++pos_;
+        continue;
+      }
+      if (sep == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char sep = peek();
+      if (sep == ',') {
+        ++pos_;
+        continue;
+      }
+      if (sep == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_string_value() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kString;
+    v.string_ = parse_string_raw();
+    return v;
+  }
+
+  std::string parse_string_raw() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': out.append(parse_unicode_escape()); break;
+        default: fail("unknown escape sequence");
+      }
+    }
+    fail("unterminated string");
+    return out;  // unreachable
+  }
+
+  /// \uXXXX -> UTF-8. Surrogate pairs are combined; a lone surrogate is
+  /// an error (the writer never emits one).
+  std::string parse_unicode_escape() {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("unpaired high surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    std::string out;
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return out;
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_])) fail("invalid number");
+    while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) fail("digit expected after '.'");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) fail("digit expected in exponent");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    // The slice is a valid JSON number, which stod accepts exactly.
+    v.number_ = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("invalid literal");
+    pos_ += word.size();
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("json parse error at " + std::to_string(line) + ':' +
+                             std::to_string(col) + ": " + what);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace smq

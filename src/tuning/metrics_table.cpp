@@ -1,0 +1,304 @@
+#include "tuning/metrics_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "support/json_reader.h"
+#include "support/json_writer.h"
+
+namespace smq::tuning {
+
+namespace {
+
+constexpr std::string_view kFormatTag = "smq-tuning-table";
+
+std::string format_throughput(double tasks_per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", tasks_per_sec);
+  return buf;
+}
+
+std::string describe_row(const MetricsRow& row) {
+  std::ostringstream os;
+  os << row.preset << " (" << format_throughput(row.tasks_per_sec)
+     << " tasks/s, speedup " << format_throughput(row.speedup_vs_seq)
+     << "x, confidence " << format_throughput(row.confidence) << ", measured on "
+     << row.graph << ')';
+  return os.str();
+}
+
+auto row_sort_key(const MetricsRow& row) {
+  return std::tie(row.graph_class, row.algorithm, row.threads, row.preset);
+}
+
+MetricsRow parse_row(const JsonValue& v) {
+  MetricsRow row;
+  row.graph_class = v.at("graph_class").as_string();
+  row.algorithm = v.at("algorithm").as_string();
+  row.threads = static_cast<unsigned>(v.at("threads").as_uint());
+  row.preset = v.at("preset").as_string();
+  row.tasks_per_sec = v.get_double("tasks_per_sec", 0);
+  row.speedup_vs_seq = v.get_double("speedup_vs_seq", 0);
+  row.confidence = v.get_double("confidence", 0);
+  row.graph = v.get_string("graph", "");
+  row.vertices = v.get_uint("vertices", 0);
+  row.edges = v.get_uint("edges", 0);
+  row.avg_degree = v.get_double("avg_degree", 0);
+  row.max_weight = v.get_uint("max_weight", 0);
+  row.reps = static_cast<int>(v.get_uint("reps", 0));
+  if (row.graph_class.empty() || row.algorithm.empty() || row.preset.empty() ||
+      row.threads == 0) {
+    throw std::runtime_error("tuning table row missing key fields");
+  }
+  return row;
+}
+
+}  // namespace
+
+std::string MetricsTable::default_path() {
+  if (const char* env = std::getenv(std::string(kPathEnvVar).c_str());
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return std::string(kDefaultPath);
+}
+
+MetricsTable MetricsTable::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open tuning table: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_text(buf.str(), path);
+}
+
+MetricsTable MetricsTable::parse_text(std::string_view text,
+                                      const std::string& origin) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(origin + ": " + e.what());
+  }
+  if (doc.get_string("format", "") != kFormatTag) {
+    throw std::runtime_error(origin + ": not a " + std::string(kFormatTag) +
+                             " file");
+  }
+  MetricsTable table;
+  table.version = static_cast<int>(doc.get_uint("version", 0));
+  if (table.version > kFormatVersion) {
+    throw std::runtime_error(origin + ": table version " +
+                             std::to_string(table.version) +
+                             " is newer than this binary (max " +
+                             std::to_string(kFormatVersion) + ")");
+  }
+  for (const JsonValue& item : doc.at("rows").items()) {
+    table.rows.push_back(parse_row(item));
+  }
+  return table;
+}
+
+MetricsTable MetricsTable::load_or_embedded(const std::string& path,
+                                            std::string* origin) {
+  if (!path.empty() && std::filesystem::exists(path)) {
+    if (origin != nullptr) *origin = path;
+    return load(path);
+  }
+  if (origin != nullptr) *origin = "embedded";
+  return embedded();
+}
+
+void MetricsTable::write(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("format", kFormatTag);
+  w.member("version", version);
+  w.key("rows").begin_array();
+  for (const MetricsRow& row : rows) {
+    w.begin_object();
+    w.member("graph_class", row.graph_class);
+    w.member("algorithm", row.algorithm);
+    w.member("threads", row.threads);
+    w.member("preset", row.preset);
+    w.member("tasks_per_sec", row.tasks_per_sec);
+    w.member("speedup_vs_seq", row.speedup_vs_seq);
+    w.member("confidence", row.confidence);
+    w.member("graph", row.graph);
+    w.member("vertices", row.vertices);
+    w.member("edges", row.edges);
+    w.member("avg_degree", row.avg_degree);
+    w.member("max_weight", row.max_weight);
+    w.member("reps", row.reps);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsTable::save(const std::string& path) const {
+  MetricsTable sorted = *this;
+  sorted.sort();
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + tmp);
+    sorted.write(out);
+    if (!out) throw std::runtime_error("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " over " + path);
+  }
+}
+
+const MetricsRow* MetricsTable::find(std::string_view graph_class,
+                                     std::string_view algorithm,
+                                     unsigned threads) const noexcept {
+  for (const MetricsRow& row : rows) {
+    if (row.graph_class == graph_class && row.algorithm == algorithm &&
+        row.threads == threads) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+void MetricsTable::upsert(MetricsRow row) {
+  for (MetricsRow& existing : rows) {
+    if (existing.graph_class == row.graph_class &&
+        existing.algorithm == row.algorithm && existing.threads == row.threads) {
+      existing = std::move(row);
+      return;
+    }
+  }
+  rows.push_back(std::move(row));
+}
+
+void MetricsTable::sort() {
+  std::sort(rows.begin(), rows.end(), [](const MetricsRow& a, const MetricsRow& b) {
+    return row_sort_key(a) < row_sort_key(b);
+  });
+}
+
+std::string_view to_string(MatchKind kind) noexcept {
+  switch (kind) {
+    case MatchKind::kExact: return "exact";
+    case MatchKind::kNearestThreads: return "nearest-threads";
+    case MatchKind::kNearestFingerprint: return "nearest-fingerprint";
+    case MatchKind::kDefault: return "default";
+  }
+  return "default";
+}
+
+Resolution resolve_preset(
+    const MetricsTable& table, const WorkloadFingerprint& fp,
+    std::string_view algorithm, unsigned threads,
+    const std::function<bool(const std::string&)>& is_registered) {
+  const std::string cls(to_string(fp.cls));
+
+  // Usable rows: right algorithm, preset this binary actually has.
+  std::vector<const MetricsRow*> usable;
+  for (const MetricsRow& row : table.rows) {
+    if (row.algorithm == algorithm && row.threads > 0 &&
+        (!is_registered || is_registered(row.preset))) {
+      usable.push_back(&row);
+    }
+  }
+
+  Resolution res;
+  const auto fill = [&res](const MetricsRow& row, MatchKind match) {
+    res.preset = row.preset;
+    res.match = match;
+    res.tasks_per_sec = row.tasks_per_sec;
+    res.speedup_vs_seq = row.speedup_vs_seq;
+    res.confidence = row.confidence;
+  };
+
+  // 1. Exact (class, algorithm, threads).
+  for (const MetricsRow* row : usable) {
+    if (row->graph_class == cls && row->threads == threads) {
+      fill(*row, MatchKind::kExact);
+      std::ostringstream why;
+      why << "exact match " << cls << '/' << algorithm << " @ " << threads
+          << "t -> " << describe_row(*row);
+      res.why = why.str();
+      return res;
+    }
+  }
+
+  // 2. Same class + algorithm at the nearest thread count; ties go to
+  // the smaller count (undersubscribing a preset is safer than
+  // oversubscribing it), then to preset name for determinism.
+  const MetricsRow* best = nullptr;
+  const auto thread_gap = [threads](const MetricsRow* row) {
+    return row->threads > threads ? row->threads - threads : threads - row->threads;
+  };
+  for (const MetricsRow* row : usable) {
+    if (row->graph_class != cls) continue;
+    if (best == nullptr ||
+        std::make_tuple(thread_gap(row), row->threads, std::cref(row->preset)) <
+            std::make_tuple(thread_gap(best), best->threads, std::cref(best->preset))) {
+      best = row;
+    }
+  }
+  if (best != nullptr) {
+    fill(*best, MatchKind::kNearestThreads);
+    std::ostringstream why;
+    why << "no " << cls << '/' << algorithm << " row @ " << threads
+        << "t; nearest thread count " << best->threads << "t -> "
+        << describe_row(*best);
+    res.why = why.str();
+    return res;
+  }
+
+  // 3. Nearest fingerprint across classes; ties broken by thread gap,
+  // then (class, threads, preset) order — fully deterministic.
+  double best_dist = 0;
+  for (const MetricsRow* row : usable) {
+    const auto row_class = parse_graph_class(row->graph_class);
+    if (!row_class) continue;
+    const double dist = fingerprint_distance(fp, *row_class, row->vertices,
+                                             row->avg_degree, row->max_weight);
+    const auto key = std::make_tuple(dist, thread_gap(row),
+                                     std::cref(row->graph_class), row->threads,
+                                     std::cref(row->preset));
+    if (best == nullptr ||
+        key < std::make_tuple(best_dist, thread_gap(best),
+                              std::cref(best->graph_class), best->threads,
+                              std::cref(best->preset))) {
+      best = row;
+      best_dist = dist;
+    }
+  }
+  if (best != nullptr) {
+    fill(*best, MatchKind::kNearestFingerprint);
+    std::ostringstream why;
+    why << "no " << cls << '/' << algorithm << " rows; nearest fingerprint "
+        << best->graph_class << '/' << best->algorithm << " @ " << best->threads
+        << "t (distance " << format_throughput(best_dist) << ") -> "
+        << describe_row(*best);
+    res.why = why.str();
+    return res;
+  }
+
+  // 4. Nothing usable: the paper's headline scheduler.
+  res.preset = std::string(kFallbackPreset);
+  res.match = MatchKind::kDefault;
+  std::ostringstream why;
+  why << "no usable " << algorithm << " rows in table; falling back to paper default '"
+      << kFallbackPreset << "'";
+  res.why = why.str();
+  return res;
+}
+
+}  // namespace smq::tuning

@@ -1,0 +1,123 @@
+// The tuning metrics table: measured (workload, algorithm, threads) ->
+// best preset mappings, checked in as data/tuning/metrics_table.json
+// with an embedded fallback compiled into the library.
+//
+// Modeled on untangle's metrics.h: an offline tuner (tools/smq_tune)
+// measures the preset grid and records the winner per key; `--sched
+// auto` consults the table at runtime. Rows carry the measurement
+// provenance (graph spec, size, tasks/s, speedup vs the sequential
+// oracle, confidence) so a resolution can explain itself — the
+// `why` string surfaced in table/JSON output — and so CI can re-measure
+// rows and catch staleness (smq_tune --verify-only).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tuning/fingerprint.h"
+
+namespace smq::tuning {
+
+/// One measured table entry. The key is (graph_class, algorithm,
+/// threads); everything else is the measured answer plus provenance.
+struct MetricsRow {
+  // --- key ---
+  std::string graph_class;  // to_string(GraphClass)
+  std::string algorithm;    // registered algorithm name ("sssp", ...)
+  unsigned threads = 0;
+  // --- answer ---
+  std::string preset;        // registered scheduler/preset key
+  double tasks_per_sec = 0;  // winner's throughput on the tuning machine
+  double speedup_vs_seq = 0; // normalized metric, machine-transferable
+  double confidence = 0;     // winner margin over runner-up, in [0, 1]
+  // --- provenance ---
+  std::string graph;         // registry spec that re-creates the input
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  double avg_degree = 0;
+  std::uint64_t max_weight = 0;
+  int reps = 0;
+};
+
+class MetricsTable {
+ public:
+  static constexpr int kFormatVersion = 1;
+  /// Default on-disk location, relative to the repo root.
+  static constexpr std::string_view kDefaultPath = "data/tuning/metrics_table.json";
+  /// Environment override consulted by default_path().
+  static constexpr std::string_view kPathEnvVar = "SMQ_TUNING_TABLE";
+
+  int version = kFormatVersion;
+  std::vector<MetricsRow> rows;
+
+  /// The compiled-in fallback (embedded_table.cpp), used when no table
+  /// file is reachable so `--sched auto` works from any directory.
+  static MetricsTable embedded();
+
+  /// $SMQ_TUNING_TABLE when set, else kDefaultPath.
+  static std::string default_path();
+
+  /// Parse a table file. Throws std::runtime_error on I/O or schema
+  /// errors (including a version newer than this binary understands).
+  static MetricsTable load(const std::string& path);
+
+  /// Parse table JSON from memory; `origin` labels parse errors.
+  static MetricsTable parse_text(std::string_view text, const std::string& origin);
+
+  /// load(path) if the file exists, else embedded(). `origin`, when
+  /// non-null, receives the path actually used or "embedded".
+  static MetricsTable load_or_embedded(const std::string& path,
+                                       std::string* origin = nullptr);
+
+  void write(std::ostream& os) const;
+
+  /// Atomic save: write to `path.tmp`, then rename over `path`. Rows
+  /// are sorted by key first so regeneration is byte-deterministic.
+  void save(const std::string& path) const;
+
+  const MetricsRow* find(std::string_view graph_class, std::string_view algorithm,
+                         unsigned threads) const noexcept;
+
+  /// Insert, replacing any row with the same key.
+  void upsert(MetricsRow row);
+
+  /// Sort rows by (graph_class, algorithm, threads, preset).
+  void sort();
+};
+
+/// How a resolution matched the table, from best to worst.
+enum class MatchKind { kExact, kNearestThreads, kNearestFingerprint, kDefault };
+
+std::string_view to_string(MatchKind kind) noexcept;
+
+/// The outcome of resolving `--sched auto` for one workload.
+struct Resolution {
+  std::string preset;  // always a registered key
+  MatchKind match = MatchKind::kDefault;
+  double tasks_per_sec = 0;
+  double speedup_vs_seq = 0;
+  double confidence = 0;
+  std::string why;  // human-readable explanation of the choice
+};
+
+/// Preset picked when the table has no usable row at all: the paper's
+/// headline scheduler.
+inline constexpr std::string_view kFallbackPreset = "smq";
+
+/// Resolve a workload against the table. Lookup order: exact
+/// (class, algorithm, threads) row; else the same class+algorithm at
+/// the closest thread count (ties to the smaller count); else the
+/// closest fingerprint across classes (fingerprint_distance, ties
+/// broken by class/threads/preset order); else kFallbackPreset.
+/// Rows whose preset `is_registered` rejects are ignored, so a stale
+/// table cannot name a preset this binary doesn't have.
+Resolution resolve_preset(
+    const MetricsTable& table, const WorkloadFingerprint& fp,
+    std::string_view algorithm, unsigned threads,
+    const std::function<bool(const std::string&)>& is_registered);
+
+}  // namespace smq::tuning

@@ -1,0 +1,137 @@
+// json_reader.h: the read-side counterpart of json_writer.h, used by
+// the tuning metrics table. Covers the value model, escapes (including
+// surrogate pairs), number grammar, and the error positions the table
+// loader surfaces to users.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "support/json_reader.h"
+#include "support/json_writer.h"
+
+namespace smq {
+namespace {
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_double(), -350.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(JsonValue::parse("  7  ").as_int(), 7);
+}
+
+TEST(JsonReader, ParsesNestedStructures) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"rows": [{"k": 1}, {"k": 2}], "name": "t", "flag": true})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.size(), 3u);
+  const JsonValue& rows = doc.at("rows");
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.items()[0].at("k").as_int(), 1);
+  EXPECT_EQ(rows.items()[1].at("k").as_int(), 2);
+  EXPECT_EQ(doc.at("name").as_string(), "t");
+  EXPECT_TRUE(doc.at("flag").as_bool());
+}
+
+TEST(JsonReader, ObjectPreservesMemberOrder) {
+  const JsonValue doc = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonReader, FindAndTypedGetters) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"d": 1.5, "u": 9, "s": "x", "wrong": "type"})");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_NE(doc.find("d"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.get_double("d", 0), 1.5);
+  EXPECT_DOUBLE_EQ(doc.get_double("missing", -1), -1);
+  EXPECT_EQ(doc.get_uint("u", 0), 9u);
+  EXPECT_EQ(doc.get_string("s", ""), "x");
+  // Wrong-type members fall back rather than throwing.
+  EXPECT_DOUBLE_EQ(doc.get_double("wrong", 2.5), 2.5);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+}
+
+TEST(JsonReader, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d\n\t")").as_string(),
+            "a\"b\\c/d\n\t");
+  // A = 'A'; é = é (2-byte UTF-8).
+  EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse(R"("\ude00")"), std::runtime_error);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\": 1,}", "[1 2]", "tru",
+        "\"unterminated", "01x", "1.", "1e", "- 1", "{\"a\": }",
+        "\"\x01\"", "nulll", "{} {}", "[1] 2"}) {
+    EXPECT_THROW(JsonValue::parse(bad), std::runtime_error)
+        << "accepted malformed input: " << bad;
+  }
+}
+
+TEST(JsonReader, ErrorsCarryLineAndColumn) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  bad\n}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos)
+        << "error should name line 3: " << e.what();
+  }
+}
+
+TEST(JsonReader, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(JsonValue::parse(deep), std::runtime_error);
+}
+
+TEST(JsonReader, AsUintRejectsNegatives) {
+  EXPECT_THROW(JsonValue::parse("-2").as_uint(), std::runtime_error);
+  EXPECT_EQ(JsonValue::parse("2").as_uint(), 2u);
+}
+
+/// Round-trip with the repo's writer: what json_writer.h emits, the
+/// reader must parse back to the same values (the tuning table depends
+/// on this for load -> merge -> save cycles).
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.begin_object();
+    json.member("name", "smq-p8 \"quoted\"\n");
+    json.member("threads", 4);
+    json.member("tps", 1234567.875);
+    json.member("valid", true);
+    json.key("rows");
+    json.begin_array();
+    json.value(1);
+    json.value(2.5);
+    json.end_array();
+    json.end_object();
+  }
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("name").as_string(), "smq-p8 \"quoted\"\n");
+  EXPECT_EQ(doc.at("threads").as_int(), 4);
+  EXPECT_DOUBLE_EQ(doc.at("tps").as_double(), 1234567.875);
+  EXPECT_TRUE(doc.at("valid").as_bool());
+  ASSERT_EQ(doc.at("rows").size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("rows").items()[1].as_double(), 2.5);
+}
+
+}  // namespace
+}  // namespace smq

@@ -379,13 +379,44 @@ def lint_file(src: SourceFile, global_atomics: set, pin_marked_names: set,
     return violations
 
 
+# The default scan set, spelled out so a new src/ subsystem must be
+# added here deliberately (and a renamed one fails loudly instead of
+# silently dropping out of the lint).
+SCAN_DIRS = [
+    "algorithms", "core", "graph", "queues", "rank", "registry",
+    "sched", "service", "support", "tuning",
+]
+
+
 def collect_sources(root: str):
     files = []
     src_dir = os.path.join(root, "src")
-    for dirpath, _dirs, names in os.walk(src_dir):
-        for name in sorted(names):
-            if name.endswith((".h", ".hpp", ".cc", ".cpp")):
-                files.append(os.path.join(dirpath, name))
+    for subdir in SCAN_DIRS:
+        scan_root = os.path.join(src_dir, subdir)
+        if not os.path.isdir(scan_root):
+            raise SystemExit(
+                f"concurrency_lint: scan dir {scan_root} is missing; "
+                "update SCAN_DIRS in tools/concurrency_lint.py")
+        for dirpath, _dirs, names in os.walk(scan_root):
+            for name in sorted(names):
+                if name.endswith((".h", ".hpp", ".cc", ".cpp")):
+                    files.append(os.path.join(dirpath, name))
+    # Anything sitting directly in src/ (or in a dir not listed above)
+    # would dodge the lint: fail so the list stays exhaustive.
+    for dirpath, dirs, names in os.walk(src_dir):
+        if dirpath == src_dir:
+            unlisted = sorted(set(dirs) - set(SCAN_DIRS))
+            if unlisted:
+                raise SystemExit(
+                    f"concurrency_lint: src/ dirs {unlisted} are not in "
+                    "SCAN_DIRS; add them in tools/concurrency_lint.py")
+            stray = [n for n in names
+                     if n.endswith((".h", ".hpp", ".cc", ".cpp"))]
+            if stray:
+                raise SystemExit(
+                    f"concurrency_lint: sources {sorted(stray)} sit "
+                    "directly in src/; move them into a SCAN_DIRS subdir")
+        break
     return files
 
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in tuning sample graphs (data/tuning/*.gr).
+
+Two small-but-measurable DIMACS .gr files, one per non-uniform graph
+class the tuning table distinguishes:
+
+  road_sample.gr    64x64 4-neighbour grid with highway shortcuts —
+                    bounded degree, tight degree distribution (class
+                    "road").
+  social_sample.gr  preferential-attachment graph stored with both arc
+                    directions — power-law degree hubs (class "social").
+
+Everything is driven by a fixed-seed LCG, so regeneration is
+byte-identical: `python3 tools/make_tuning_graphs.py` rewrites the same
+files. The third class ("uniform") needs no file — smq_tune's default
+grid covers it with a seeded `rand` registry spec.
+"""
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "data", "tuning")
+
+
+class Lcg:
+    """Deterministic 64-bit LCG (same constants as MMIX); no reliance on
+    python's random module so the output never shifts between
+    versions."""
+
+    def __init__(self, seed):
+        self.state = seed & 0xFFFFFFFFFFFFFFFF
+
+    def next(self, bound):
+        self.state = (self.state * 6364136223846793005 + 1442695040888963407) \
+            & 0xFFFFFFFFFFFFFFFF
+        return (self.state >> 33) % bound
+
+
+def write_gr(path, comment_lines, num_vertices, arcs):
+    with open(path, "w") as f:
+        f.write("c 9th DIMACS Implementation Challenge shortest-path format\n")
+        for line in comment_lines:
+            f.write(f"c {line}\n")
+        f.write(f"p sp {num_vertices} {len(arcs)}\n")
+        for u, v, w in arcs:
+            f.write(f"a {u + 1} {v + 1} {w}\n")
+    print(f"wrote {path}: {num_vertices} vertices, {len(arcs)} arcs")
+
+
+def road_sample(side=64, shortcuts=200, seed=42):
+    rng = Lcg(seed)
+    n = side * side
+    arcs = []
+
+    def vid(x, y):
+        return y * side + x
+
+    # 4-neighbour lattice, both directions, weights 80..120 (the road
+    # generator's scale, so A* heuristics stay admissible-ish).
+    for y in range(side):
+        for x in range(side):
+            w_right = 80 + rng.next(41)
+            w_down = 80 + rng.next(41)
+            if x + 1 < side:
+                arcs.append((vid(x, y), vid(x + 1, y), w_right))
+                arcs.append((vid(x + 1, y), vid(x, y), w_right))
+            if y + 1 < side:
+                arcs.append((vid(x, y), vid(x, y + 1), w_down))
+                arcs.append((vid(x, y + 1), vid(x, y), w_down))
+    # Highway shortcuts between random vertices: longer but cheaper per
+    # hop, the feature that makes road-class scheduling interesting.
+    for _ in range(shortcuts):
+        u = rng.next(n)
+        v = rng.next(n)
+        if u == v:
+            continue
+        w = 150 + rng.next(151)
+        arcs.append((u, v, w))
+        arcs.append((v, u, w))
+    write_gr(
+        os.path.join(OUT_DIR, "road_sample.gr"),
+        [f"Tuning sample, class 'road': {side}x{side} grid + "
+         f"{shortcuts} shortcuts (seed {seed}).",
+         "Regenerate with tools/make_tuning_graphs.py (byte-deterministic)."],
+        n, arcs)
+
+
+def social_sample(n=3000, m=4, seed=1337):
+    rng = Lcg(seed)
+    # Preferential attachment via the repeated-endpoints trick: picking
+    # a uniform element of the running arc-endpoint list is
+    # degree-proportional. Stored with both arc directions so hubs show
+    # up in the OUT-degree distribution the fingerprint scans.
+    endpoints = []
+    arcs = []
+    for v in range(1, n):
+        targets = set()
+        for _ in range(min(m, v)):
+            for _attempt in range(8):
+                if endpoints and rng.next(100) < 80:
+                    t = endpoints[rng.next(len(endpoints))]
+                else:
+                    t = rng.next(v)
+                if t != v and t not in targets:
+                    targets.add(t)
+                    break
+        for t in sorted(targets):
+            w = 1 + rng.next(255)
+            arcs.append((v, t, w))
+            arcs.append((t, v, w))
+            endpoints.append(v)
+            endpoints.append(t)
+    write_gr(
+        os.path.join(OUT_DIR, "social_sample.gr"),
+        [f"Tuning sample, class 'social': preferential attachment, "
+         f"n={n}, m={m} (seed {seed}).",
+         "Regenerate with tools/make_tuning_graphs.py (byte-deterministic)."],
+        n, arcs)
+
+
+def main():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    road_sample()
+    social_sample()
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,7 @@
 #include "registry/suites.h"
 #include "service/service_driver.h"
 #include "support/cli.h"
+#include "tuning/auto_select.h"
 
 namespace {
 
@@ -65,7 +66,8 @@ std::vector<std::string> known_flags() {
       "help",       "h",         "list",      "suite",    "sched",
       "algo",       "graph",     "threads",   "reps",     "json",
       "no-validate", "dispatch", "batch-size", "numa-grid", "graph-cache",
-      "service",    "qps",       "queries",   "lanes",    "query-seed"};
+      "service",    "qps",       "queries",   "lanes",    "query-seed",
+      "tuning-table"};
   const auto add = [&known](const std::vector<Tunable>& tunables) {
     for (const Tunable& t : tunables) known.push_back(t.name);
   };
@@ -95,6 +97,22 @@ bool check_flags(const ArgParser& args) {
     }
   }
   return ok;
+}
+
+/// "unknown scheduler: X (did you mean 'Y'?)" over the registry names
+/// plus the "auto" pseudo-scheduler.
+std::string unknown_scheduler_message(const std::string& name) {
+  std::vector<std::string> known = SchedulerRegistry::instance().names();
+  known.emplace_back(tuning::kAutoSchedulerName);
+  std::string msg = "unknown scheduler: " + name;
+  const std::string near = nearest_name(name, known);
+  if (!near.empty()) msg += " (did you mean '" + near + "'?)";
+  msg += " (see smq_run --list)";
+  return msg;
+}
+
+bool is_auto_sched(const std::string& name) {
+  return name == tuning::kAutoSchedulerName;
 }
 
 void print_suite_listing(std::ostream& os) {
@@ -132,8 +150,9 @@ int run_service_mode(const ArgParser& args) {
     sched_names = SchedulerRegistry::instance().names();
   }
   for (const std::string& name : sched_names) {
-    if (SchedulerRegistry::instance().find(name) == nullptr) {
-      std::cerr << "unknown scheduler: " << name << " (see smq_run --list)\n";
+    if (!is_auto_sched(name) &&
+        SchedulerRegistry::instance().find(name) == nullptr) {
+      std::cerr << unknown_scheduler_message(name) << "\n";
       return 2;
     }
   }
@@ -189,15 +208,40 @@ int run_service_mode(const ArgParser& args) {
   bool any_invalid = false;
   for (const std::string& name : sched_names) {
     for (const unsigned requested : thread_counts) {
-      const unsigned threads = service_effective_threads(name, requested);
+      // `auto` resolves through the tuning table once per thread count
+      // (the winning preset may change with the worker count); the row
+      // keeps "auto" as its scheduler and reports the resolved preset.
+      tuning::AutoSelection selection;
+      std::string create_name = name;
+      if (is_auto_sched(name)) {
+        try {
+          selection = tuning::select_scheduler(
+              graph, service_auto_algorithm(graph),
+              requested == 0 ? 1 : requested, args.get("tuning-table"));
+        } catch (const std::exception& e) {
+          std::cerr << "smq_run: " << e.what() << "\n";
+          return 2;
+        }
+        create_name = selection.preset;
+        std::cout << tuning::describe_selection(
+                         selection, service_auto_algorithm(graph),
+                         requested == 0 ? 1 : requested)
+                  << "\n";
+      }
+      const unsigned threads = service_effective_threads(create_name, requested);
       ServiceRow best;
       for (int rep = 0; rep < reps; ++rep) {
         std::unique_ptr<QueryService> service =
-            make_service(name, threads, params, graph, opts);
+            make_service(create_name, threads, params, graph, opts);
         const DriveResult drive = drive_service(*service, queries, qps, seed);
         service->stop();
         ServiceRow row;
         row.scheduler = name;
+        if (is_auto_sched(name)) {
+          row.preset = selection.preset;
+          row.auto_match = std::string(tuning::to_string(selection.match));
+          row.auto_why = selection.why;
+        }
         row.threads = threads;
         row.lanes = service->num_lanes();
         row.batch_size = opts.batch_size;
@@ -241,6 +285,7 @@ int run(int argc, char** argv) {
            "virtual|batched|static] [--batch-size N]\n"
            "               [--numa-grid nodes=N,..:k=K,..] "
            "[--graph-cache DIR]\n"
+           "               [--tuning-table PATH]\n"
            "               [--service [--qps R] [--queries N] [--lanes N] "
            "[--query-seed S]]\n"
            "               [--<tunable> VALUE ...]\n\n"
@@ -255,6 +300,13 @@ int run(int argc, char** argv) {
            "repeated sweeps skip generation;\n`--numa-grid` crosses the "
            "sweep with simulated-NUMA grid points (nodes x K),\neach row "
            "reporting its measured remote-access fraction.\n\n"
+           "`--sched auto` resolves the scheduler through the tuning "
+           "metrics table\n(data/tuning/metrics_table.json, regenerate with "
+           "smq_tune; override with\n--tuning-table PATH or "
+           "$SMQ_TUNING_TABLE): the preset measured best for\nthis (graph "
+           "class, algorithm, threads) is picked per thread count — exact\n"
+           "row, nearest thread count, or nearest graph fingerprint — and "
+           "every row\nreports the chosen preset and why.\n\n"
            "`--service` runs point-to-point queries through a persistent "
            "worker-pool\nservice instead of one spawn/join run per row: "
            "`--queries N` random (s,t)\npairs (seeded by --query-seed) are "
@@ -339,8 +391,9 @@ int run(int argc, char** argv) {
     sched_names = SchedulerRegistry::instance().names();
   }
   for (const std::string& name : sched_names) {
-    if (SchedulerRegistry::instance().find(name) == nullptr) {
-      std::cerr << "unknown scheduler: " << name << " (see smq_run --list)\n";
+    if (!is_auto_sched(name) &&
+        SchedulerRegistry::instance().find(name) == nullptr) {
+      std::cerr << unknown_scheduler_message(name) << "\n";
       return 2;
     }
   }
@@ -371,6 +424,36 @@ int run(int argc, char** argv) {
       std::cerr << e.what() << "\n";
       return 2;
     }
+  }
+
+  // ---- `--sched auto` resolution inputs --------------------------------
+  // The table is loaded and the graph fingerprinted once; resolution
+  // itself happens per thread count (the winner can change with it).
+  const bool any_auto =
+      std::any_of(sched_names.begin(), sched_names.end(), is_auto_sched);
+  tuning::MetricsTable auto_table;
+  std::string auto_origin;
+  tuning::WorkloadFingerprint auto_fp;
+  if (any_auto) {
+    if (grid_active) {
+      std::cerr << "--sched auto cannot be combined with --numa-grid (the "
+                   "grid sweeps the axis the table has already pinned)\n";
+      return 2;
+    }
+    try {
+      const std::string table_arg = args.get("tuning-table");
+      if (table_arg.empty()) {
+        auto_table = tuning::MetricsTable::load_or_embedded(
+            tuning::MetricsTable::default_path(), &auto_origin);
+      } else {
+        auto_origin = table_arg;
+        auto_table = tuning::MetricsTable::load(table_arg);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "smq_run: " << e.what() << "\n";
+      return 2;
+    }
+    auto_fp = tuning::fingerprint_graph(*graph.graph);
   }
 
   std::cout << "graph: " << graph.name << " (" << graph.graph->num_vertices()
@@ -407,6 +490,44 @@ int run(int argc, char** argv) {
   // ---- the sweep -------------------------------------------------------
   bool any_invalid = false;
   for (const std::string& name : sched_names) {
+    if (is_auto_sched(name)) {
+      // One table resolution per thread count; the row runs the
+      // resolved preset under whatever dispatch mode was requested
+      // (virtual, batched, or static — same paths as naming it by
+      // hand) and carries the provenance into table/JSON.
+      for (const unsigned requested : thread_counts) {
+        const unsigned want = requested == 0 ? 1 : requested;
+        const tuning::AutoSelection sel = tuning::select_scheduler(
+            auto_table, auto_origin, auto_fp, algo_name, want);
+        const SchedulerEntry* entry =
+            SchedulerRegistry::instance().find(sel.preset);
+        DispatchMode row_dispatch = mode;
+        if (row_dispatch == DispatchMode::kStatic &&
+            !has_static_dispatch(sel.preset)) {
+          std::cerr << "note: no static dispatch entry for '" << sel.preset
+                    << "'; running it virtual\n";
+          row_dispatch = DispatchMode::kVirtual;
+        }
+        std::cout << tuning::describe_selection(sel, algo_name, want) << "\n";
+        SweepRow row;
+        row.label = name;
+        row.scheduler = sel.preset;
+        row.auto_selected = true;
+        row.auto_match = std::string(tuning::to_string(sel.match));
+        row.auto_why = sel.why;
+        row.requested_threads = requested;
+        row.threads = effective_threads(*entry, requested);
+        row.dispatch = row_dispatch;
+        row.reps = std::max(1, reps);
+        row.result =
+            measure_sweep_row(*entry, sel.preset, *algo, algo_name, graph,
+                              row.threads, params, row_dispatch,
+                              report.reference, reps);
+        if (row.result.validated && !row.result.valid) any_invalid = true;
+        report.rows.push_back(std::move(row));
+      }
+      continue;
+    }
     const SchedulerEntry* entry = SchedulerRegistry::instance().find(name);
     // Static dispatch covers the hot config families (and their presets)
     // only; anything else keeps its uniform virtual path (and the row
